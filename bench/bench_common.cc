@@ -1,0 +1,118 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace hiergat {
+namespace bench {
+
+double Scale() {
+  const char* env = std::getenv("HIERGAT_BENCH_SCALE");
+  if (env != nullptr) {
+    const double value = std::atof(env);
+    if (value > 0.0) return value;
+  }
+  return 1.0;
+}
+
+int IntEnv(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return fallback;
+}
+
+int BenchEpochs() { return IntEnv("HIERGAT_BENCH_EPOCHS", 6); }
+
+int ClampPairs(int scaled) {
+  const int lo = IntEnv("HIERGAT_BENCH_MIN_PAIRS", 500);
+  const int hi = IntEnv("HIERGAT_BENCH_MAX_PAIRS", 560);
+  return std::min(std::max(scaled, lo), std::max(lo, hi));
+}
+
+TrainOptions BenchTrainOptions(uint64_t seed) {
+  TrainOptions options;
+  options.epochs = BenchEpochs();
+  options.lr = 2e-3f;
+  options.batch_size = 16;
+  options.seed = seed;
+  return options;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+void Table::Print() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::printf("| ");
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s | ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  auto print_rule = [&]() {
+    std::printf("+");
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      for (size_t i = 0; i < widths[c] + 3; ++i) std::printf("-");
+      std::printf("+");
+    }
+    std::printf("\n");
+  };
+  std::printf("\n%s\n", title_.c_str());
+  print_rule();
+  print_row(columns_);
+  print_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      print_rule();
+    } else {
+      print_row(row);
+    }
+  }
+  print_rule();
+}
+
+std::string Fmt(double value, int precision) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << value;
+  return out.str();
+}
+
+std::string Pct(double f1) { return Fmt(100.0 * f1, 1); }
+
+void PrintHeader(const std::string& experiment, const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", claim.c_str());
+  std::printf(
+      "Scale: %.2fx (set HIERGAT_BENCH_SCALE / HIERGAT_BENCH_EPOCHS to "
+      "raise)\n",
+      Scale());
+  std::printf(
+      "Note: absolute F1 differs from the paper (synthetic data, MiniLM\n"
+      "backbone); the reproduction target is the *shape* — ordering,\n"
+      "gaps, crossovers. See DESIGN.md and EXPERIMENTS.md.\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace hiergat

@@ -1,0 +1,60 @@
+#ifndef HIERGAT_BENCH_BENCH_COMMON_H_
+#define HIERGAT_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "er/model.h"
+
+namespace hiergat {
+namespace bench {
+
+/// Global size multiplier for all experiment harnesses. Defaults to a
+/// single-core-friendly scale; set HIERGAT_BENCH_SCALE (e.g. 4.0) to run
+/// closer to paper-sized workloads.
+double Scale();
+
+/// Integer environment knob with default.
+int IntEnv(const char* name, int fallback);
+
+/// Epochs for bench training runs (HIERGAT_BENCH_EPOCHS, default 6).
+int BenchEpochs();
+
+/// Clamps a scaled dataset size into the trainable band
+/// [HIERGAT_BENCH_MIN_PAIRS=500, HIERGAT_BENCH_MAX_PAIRS=560]: below the
+/// floor nothing learns; above the cap single-core runs crawl.
+int ClampPairs(int scaled);
+
+/// Shared training options for bench runs.
+TrainOptions BenchTrainOptions(uint64_t seed = 42);
+
+/// Fixed-width console table with a title and a footnote, used by every
+/// experiment harness to print paper-vs-measured rows.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Inserts a horizontal separator before the next row.
+  void AddSeparator();
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;  // Empty row = separator.
+};
+
+/// Formats a float with fixed precision ("93.3").
+std::string Fmt(double value, int precision = 1);
+/// Formats an F1 in percent from [0,1] ("93.3").
+std::string Pct(double f1);
+
+/// Prints the standard bench header (what the experiment reproduces and
+/// at which scale).
+void PrintHeader(const std::string& experiment, const std::string& claim);
+
+}  // namespace bench
+}  // namespace hiergat
+
+#endif  // HIERGAT_BENCH_BENCH_COMMON_H_

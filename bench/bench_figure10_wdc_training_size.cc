@@ -1,0 +1,92 @@
+// Figure 10 — F1 vs training-set size on the WDC product corpora.
+//
+// Paper shape: all models improve with more labels, but HierGAT's curve
+// sits on top and its advantage *grows* as labels shrink (at 1/24 of
+// the data HierGAT beats Ditto by 6.7 on average) — label efficiency.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "er/baselines/deepmatcher.h"
+#include "er/baselines/ditto.h"
+#include "er/hiergat.h"
+
+namespace hiergat {
+namespace {
+
+void Run() {
+  bench::PrintHeader(
+      "Figure 10 — F1 vs training size (WDC-like, title-only)",
+      "HierGAT dominates at every size; its margin grows with fewer "
+      "labels");
+  const int xlarge =
+      std::max(192, static_cast<int>(480 * bench::Scale()));
+  TrainOptions options = bench::BenchTrainOptions();
+  options.epochs = std::max(options.epochs, 6);
+  const int pretrain = bench::IntEnv("HIERGAT_BENCH_PRETRAIN", 1500);
+
+  for (const char* domain : {"computer", "all"}) {
+    WdcDataset wdc;
+    if (std::string(domain) == "all") {
+      std::vector<WdcDataset> parts;
+      int seed = 40;
+      for (const char* d : {"computer", "camera", "watch", "shoe"}) {
+        parts.push_back(GenerateWdc(d, xlarge / 4, 60, seed++));
+      }
+      wdc = PoolWdc(parts);
+    } else {
+      wdc = GenerateWdc(domain, xlarge, 110, 39);
+    }
+    bench::Table table(
+        std::string("Figure 10 — ") + domain + " (F1 of ours per size)",
+        {"Train size", "#pairs", "DeepMatcher", "Ditto", "HierGAT",
+         "HG - Ditto"});
+    for (const char* tier : {"small", "medium", "large", "xlarge"}) {
+      PairDataset data;
+      data.name = wdc.domain;
+      data.train = wdc.TrainSlice(tier);
+      // Hold out a fifth of the slice for validation-based selection.
+      const size_t valid_size = std::max<size_t>(4, data.train.size() / 5);
+      data.valid.assign(data.train.end() - valid_size, data.train.end());
+      data.train.resize(data.train.size() - valid_size);
+      data.test = wdc.test;
+
+      DeepMatcherModel dm;
+      dm.Train(data, options);
+      const double dm_f1 = dm.Evaluate(data.test).f1;
+
+      DittoConfig dc;
+      dc.lm_size = LmSize::kSmall;
+      dc.lm_pretrain_steps = pretrain;
+      DittoModel ditto(dc);
+      ditto.Train(data, options);
+      const double ditto_f1 = ditto.Evaluate(data.test).f1;
+
+      HierGatConfig hc;
+      hc.lm_size = LmSize::kSmall;
+      hc.lm_pretrain_steps = pretrain;
+      HierGatModel hiergat(hc);
+      hiergat.Train(data, options);
+      const double hg_f1 = hiergat.Evaluate(data.test).f1;
+
+      table.AddRow({tier, std::to_string(data.train.size()),
+                    bench::Pct(dm_f1), bench::Pct(ditto_f1),
+                    bench::Pct(hg_f1),
+                    bench::Fmt(100.0 * (hg_f1 - ditto_f1))});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nShape checks: every column rises with training size, and the\n"
+      "HG - Ditto margin is largest at \"small\" (label efficiency from\n"
+      "the label-free pre-trained backbone + graph context).\n");
+}
+
+}  // namespace
+}  // namespace hiergat
+
+int main() {
+  hiergat::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Table 11 — hierarchical-comparison module ablation for HierGAT+
+// (§6.5.3): full model vs Non-Sum (no entity summarization context) vs
+// Non-Align (no entity alignment layer).
+//
+// Paper shape: both components contribute; Non-Align costs more on the
+// hard datasets (A-G: 83.1 -> 77.1).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blocking/blocker.h"
+#include "data/synthetic.h"
+#include "er/hiergat_plus.h"
+
+namespace hiergat {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double full, non_sum, non_align;
+};
+
+const PaperRow kPaper[] = {
+    {"Amazon-Google", 83.1, 82.6, 77.1},
+    {"Abt-Buy", 92.9, 90.6, 86.3},
+};
+
+void Run() {
+  bench::PrintHeader(
+      "Table 11 — aggregation & comparison module ablation (HierGAT+)",
+      "entity summarization and entity alignment both contribute");
+  TrainOptions options = bench::BenchTrainOptions();
+  options.epochs = std::max(options.epochs, 8);
+  const int pretrain = bench::IntEnv("HIERGAT_BENCH_PRETRAIN", 1200);
+  const int queries = bench::IntEnv("HIERGAT_BENCH_QUERIES", 120);
+
+  bench::Table table("Table 11 (paper F1 / ours)",
+                     {"Dataset", "HG+", "Non-Sum", "Non-Align"});
+  for (size_t i = 0; i < std::size(kPaper); ++i) {
+    const PaperRow& paper = kPaper[i];
+    SyntheticSpec spec;
+    spec.name = paper.name;
+    spec.num_attributes = 3;
+    spec.hardness = 0.75f;
+    spec.noise = 0.06f;
+    spec.seed = 1900 + i;
+    CollectiveBuildOptions build;
+    build.top_n = bench::IntEnv("HIERGAT_BENCH_TOPN", 6);
+    const CollectiveDataset data =
+        BuildCollective(GenerateTwoTable(spec, queries, queries * 3), build);
+
+    const double paper_values[3] = {paper.full, paper.non_sum,
+                                    paper.non_align};
+    std::vector<std::string> row = {paper.name};
+    for (int variant = 0; variant < 3; ++variant) {
+      HierGatPlusConfig config;
+      config.lm_size = LmSize::kSmall;
+      config.lm_pretrain_steps = pretrain;
+      if (variant == 1) config.use_entity_summarization = false;
+      if (variant == 2) config.use_alignment = false;
+      HierGatPlusModel model(config);
+      model.Train(data, options);
+      row.push_back(bench::Fmt(paper_values[variant]) + " / " +
+                    bench::Pct(model.Evaluate(data.test).f1));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: the full HG+ column should lead each row; dropping\n"
+      "alignment (Non-Align) costs more than dropping summarization.\n");
+}
+
+}  // namespace
+}  // namespace hiergat
+
+int main() {
+  hiergat::Run();
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Table 4 — pairwise F1 of Magellan / DeepMatcher / Ditto / HierGAT on
+// the Magellan-like benchmarks (clean + dirty variants).
+//
+// Paper shape: HierGAT best everywhere (DeltaF1 up to +8.7 over the
+// best baseline, +32.5 over DeepMatcher); dirty variants cost HierGAT
+// only ~1 point. At MiniLM scale the classical baselines are anomalously
+// strong (see EXPERIMENTS.md §Deviations); the HierGAT-vs-Ditto gap and
+// the dirty-robustness ordering are the shape checks here.
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+#include "er/baselines/deepmatcher.h"
+#include "er/baselines/ditto.h"
+#include "er/baselines/magellan.h"
+#include "er/hiergat.h"
+
+namespace hiergat {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double magellan, dm, ditto, hiergat;
+};
+
+// F1 numbers from Table 4.
+const PaperRow kPaperClean[] = {
+    {"Beer", 78.8, 72.7, 84.6, 93.3},
+    {"iTunes-Amazon", 91.2, 88.5, 92.3, 96.3},
+    {"Fodors-Zagats", 100, 100, 98.1, 100},
+    {"DBLP-ACM", 98.4, 98.4, 99.0, 99.1},
+    {"DBLP-Scholar", 92.3, 94.7, 95.8, 96.3},
+    {"Amazon-Google", 49.1, 69.3, 74.1, 76.4},
+    {"Walmart-Amazon", 71.9, 67.6, 85.8, 88.2},
+    {"Abt-Buy", 43.6, 62.8, 88.9, 89.8},
+    {"Company", 79.8, 92.7, 87.5, 88.2},
+};
+const PaperRow kPaperDirty[] = {
+    {"Dirty-iTunes-Amazon", 46.8, 79.4, 92.9, 94.7},
+    {"Dirty-DBLP-ACM", 91.9, 98.1, 98.9, 99.1},
+    {"Dirty-DBLP-Scholar", 82.5, 93.8, 95.4, 95.8},
+    {"Dirty-Walmart-Amazon", 37.4, 53.8, 82.6, 86.3},
+};
+
+struct Row {
+  double magellan = 0, dm = 0, ditto = 0, hiergat = 0;
+};
+
+Row RunDataset(const SyntheticSpec& spec_in, const TrainOptions& options) {
+  SyntheticSpec spec = spec_in;
+  spec.num_pairs = bench::ClampPairs(spec.num_pairs);
+  const PairDataset data = GeneratePairDataset(spec);
+  Row row;
+  {
+    MagellanModel model;
+    model.Train(data, options);
+    row.magellan = model.Evaluate(data.test).f1;
+  }
+  {
+    DeepMatcherModel model;
+    model.Train(data, options);
+    row.dm = model.Evaluate(data.test).f1;
+  }
+  {
+    DittoConfig config;
+    config.lm_size = LmSize::kSmall;
+    config.lm_pretrain_steps = bench::IntEnv("HIERGAT_BENCH_PRETRAIN", 1500);
+    DittoModel model(config);
+    model.Train(data, options);
+    row.ditto = model.Evaluate(data.test).f1;
+  }
+  {
+    HierGatConfig config;
+    config.lm_size = LmSize::kSmall;
+    config.lm_pretrain_steps = bench::IntEnv("HIERGAT_BENCH_PRETRAIN", 1500);
+    HierGatModel model(config);
+    model.Train(data, options);
+    row.hiergat = model.Evaluate(data.test).f1;
+  }
+  return row;
+}
+
+void Emit(bench::Table* table, const PaperRow& paper, const Row& ours) {
+  const double best_baseline =
+      std::max({ours.magellan, ours.dm, ours.ditto});
+  table->AddRow({paper.name,
+                 bench::Fmt(paper.magellan) + " / " + bench::Pct(ours.magellan),
+                 bench::Fmt(paper.dm) + " / " + bench::Pct(ours.dm),
+                 bench::Fmt(paper.ditto) + " / " + bench::Pct(ours.ditto),
+                 bench::Fmt(paper.hiergat) + " / " + bench::Pct(ours.hiergat),
+                 bench::Fmt(100.0 * (ours.hiergat - best_baseline))});
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Table 4 — pairwise F1 on the Magellan benchmarks",
+      "HierGAT vs Magellan/DeepMatcher/Ditto, clean and dirty");
+  const double scale = 0.04 * bench::Scale();
+  TrainOptions options = bench::BenchTrainOptions();
+  bench::Table table("Table 4 (paper F1 / ours)",
+                     {"Dataset", "Magellan", "DeepMatcher", "Ditto",
+                      "HierGAT", "dF1(ours)"});
+  const std::vector<SyntheticSpec> clean = MagellanSpecs(scale);
+  for (size_t i = 0; i < clean.size(); ++i) {
+    Emit(&table, kPaperClean[i], RunDataset(clean[i], options));
+  }
+  table.AddSeparator();
+  const std::vector<SyntheticSpec> dirty = DirtyMagellanSpecs(scale);
+  for (size_t i = 0; i < dirty.size(); ++i) {
+    Emit(&table, kPaperDirty[i], RunDataset(dirty[i], options));
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks: (1) HierGAT >= Ditto on most rows (the paper's core\n"
+      "claim); (2) dirty rows cost the structure-aware transformer models\n"
+      "far less than Magellan (paper: Magellan loses up to 44 points,\n"
+      "HierGAT ~1); (3) easy datasets (Fodors-Zagats, DBLP-ACM) saturate\n"
+      "for every model.\n");
+}
+
+}  // namespace
+}  // namespace hiergat
+
+int main() {
+  hiergat::Run();
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Table 7 — collective ER: MG / DM+ / GCN / GAT / HGAT / Ditto /
+// HierGAT / HierGAT+ on split-then-block collective benchmarks.
+//
+// Paper shape: HierGAT+ best everywhere; HGAT > GCN/GAT (hierarchy
+// helps); Transformer models > plain graph models; HierGAT+ gains up to
+// +6.4 over pairwise HierGAT from entity context + alignment.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blocking/blocker.h"
+#include "data/synthetic.h"
+#include "er/baselines/deepmatcher.h"
+#include "er/baselines/ditto.h"
+#include "er/baselines/gnn.h"
+#include "er/baselines/magellan.h"
+#include "er/hiergat.h"
+#include "er/hiergat_plus.h"
+
+namespace hiergat {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double mg, dm_plus, gcn, gat, hgat, ditto, hiergat, hiergat_plus;
+};
+
+const PaperRow kPaper[] = {
+    {"iTunes-Amazon", 50.0, 55.9, 36.1, 36.7, 64.6, 58.6, 59.3, 64.7},
+    {"Amazon-Google", 28.5, 69.0, 64.5, 63.6, 75.5, 77.6, 78.0, 83.1},
+    {"Abt-Buy", 52.2, 62.1, 57.6, 55.7, 68.9, 89.3, 89.5, 93.2},
+    {"camera", -1, 98.0, 82.1, 88.2, 89.5, 99.0, 99.1, 99.4},
+};
+
+CollectiveDataset MakeDataset(const std::string& name, size_t index) {
+  const int queries = bench::IntEnv("HIERGAT_BENCH_QUERIES", 140);
+  CollectiveBuildOptions options;
+  options.top_n = bench::IntEnv("HIERGAT_BENCH_TOPN", 6);
+  if (name == "camera") {
+    MultiSourceDataset raw =
+        GenerateMultiSource("camera", 8, queries, 1300 + index);
+    return BuildCollectiveFromMultiSource(raw, options);
+  }
+  SyntheticSpec spec;
+  spec.name = name;
+  spec.num_attributes = 3;
+  spec.hardness = name == "Amazon-Google" ? 0.8f : 0.6f;
+  spec.noise = 0.06f;
+  spec.seed = 1300 + index;
+  TwoTableDataset raw = GenerateTwoTable(spec, queries, queries * 3);
+  return BuildCollective(raw, options);
+}
+
+void Run() {
+  bench::PrintHeader(
+      "Table 7 — collective ER F1 across eight matchers",
+      "HierGAT+ best; hierarchy (HGAT) beats flat GCN/GAT");
+  TrainOptions options = bench::BenchTrainOptions();
+  options.epochs = std::max(options.epochs, 8);
+  const int pretrain = bench::IntEnv("HIERGAT_BENCH_PRETRAIN", 1200);
+
+  bench::Table table("Table 7 (paper F1 / ours)",
+                     {"Dataset", "MG", "DM+", "GCN", "GAT", "HGAT", "Ditto",
+                      "HG", "HG+"});
+  for (size_t i = 0; i < std::size(kPaper); ++i) {
+    const PaperRow& paper = kPaper[i];
+    CollectiveDataset data = MakeDataset(paper.name, i);
+    double ours[8];
+    {
+      MagellanModel model;
+      PairwiseAsCollective adapter(&model);
+      adapter.Train(data, options);
+      ours[0] = adapter.Evaluate(data.test).f1;
+    }
+    {
+      DmPlusModel model;
+      PairwiseAsCollective adapter(&model);
+      adapter.Train(data, options);
+      ours[1] = adapter.Evaluate(data.test).f1;
+    }
+    {
+      GcnCollectiveModel model;
+      model.Train(data, options);
+      ours[2] = model.Evaluate(data.test).f1;
+    }
+    {
+      GatCollectiveModel model;
+      model.Train(data, options);
+      ours[3] = model.Evaluate(data.test).f1;
+    }
+    {
+      HgatCollectiveModel model;
+      model.Train(data, options);
+      ours[4] = model.Evaluate(data.test).f1;
+    }
+    {
+      DittoConfig config;
+      config.lm_size = LmSize::kSmall;
+      config.lm_pretrain_steps = pretrain;
+      DittoModel model(config);
+      PairwiseAsCollective adapter(&model);
+      adapter.Train(data, options);
+      ours[5] = adapter.Evaluate(data.test).f1;
+    }
+    {
+      HierGatConfig config;
+      config.lm_size = LmSize::kSmall;
+      config.lm_pretrain_steps = pretrain;
+      HierGatModel model(config);
+      PairwiseAsCollective adapter(&model);
+      adapter.Train(data, options);
+      ours[6] = adapter.Evaluate(data.test).f1;
+    }
+    {
+      HierGatPlusConfig config;
+      config.lm_size = LmSize::kSmall;
+      config.lm_pretrain_steps = pretrain;
+      HierGatPlusModel model(config);
+      model.Train(data, options);
+      ours[7] = model.Evaluate(data.test).f1;
+    }
+    const double paper_values[8] = {paper.mg,    paper.dm_plus, paper.gcn,
+                                    paper.gat,   paper.hgat,    paper.ditto,
+                                    paper.hiergat, paper.hiergat_plus};
+    std::vector<std::string> row = {paper.name};
+    for (int m = 0; m < 8; ++m) {
+      const std::string p =
+          paper_values[m] < 0 ? std::string("-") : bench::Fmt(paper_values[m]);
+      row.push_back(p + " / " + bench::Pct(ours[m]));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nShape checks: (1) HGAT > GCN and GAT (hierarchical propagation);\n"
+      "(2) HierGAT+ > HierGAT (entity context + alignment); (3) HierGAT+\n"
+      "is at or near the best column per row.\n");
+}
+
+}  // namespace
+}  // namespace hiergat
+
+int main() {
+  hiergat::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Table 9 — contextual-embedding ablation for HierGAT+ (§6.5.1):
+// full WpC context vs Non-Entity vs Non-Attribute vs Non-Context.
+//
+// Paper shape: every context term contributes; removing all of them
+// (Non-Context) costs the most (e.g. I-A: 64.7 -> 62.6).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "blocking/blocker.h"
+#include "data/synthetic.h"
+#include "er/hiergat_plus.h"
+
+namespace hiergat {
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double context, non_entity, non_attribute, non_context;
+};
+
+const PaperRow kPaper[] = {
+    {"iTunes-Amazon", 64.7, 63.3, 64.6, 62.6},
+    {"Amazon-Google", 83.1, 82.1, 81.9, 81.4},
+};
+
+void Run() {
+  bench::PrintHeader(
+      "Table 9 — effect of contextual embedding (HierGAT+ ablation)",
+      "WpC with all three context levels beats every ablated variant");
+  TrainOptions options = bench::BenchTrainOptions();
+  options.epochs = std::max(options.epochs, 8);
+  const int pretrain = bench::IntEnv("HIERGAT_BENCH_PRETRAIN", 1200);
+  const int queries = bench::IntEnv("HIERGAT_BENCH_QUERIES", 120);
+
+  bench::Table table("Table 9 (paper F1 / ours)",
+                     {"Dataset", "Context", "Non-Entity", "Non-Attribute",
+                      "Non-Context"});
+  for (size_t i = 0; i < std::size(kPaper); ++i) {
+    const PaperRow& paper = kPaper[i];
+    SyntheticSpec spec;
+    spec.name = paper.name;
+    spec.num_attributes = 3;
+    spec.hardness = 0.7f;
+    spec.noise = 0.06f;
+    spec.seed = 1700 + i;
+    CollectiveBuildOptions build;
+    build.top_n = bench::IntEnv("HIERGAT_BENCH_TOPN", 6);
+    const CollectiveDataset data =
+        BuildCollective(GenerateTwoTable(spec, queries, queries * 3), build);
+
+    double ours[4];
+    for (int variant = 0; variant < 4; ++variant) {
+      HierGatPlusConfig config;
+      config.lm_size = LmSize::kSmall;
+      config.lm_pretrain_steps = pretrain;
+      switch (variant) {
+        case 0:
+          break;  // Full context.
+        case 1:
+          config.context.use_entity_context = false;
+          break;
+        case 2:
+          config.context.use_attribute_context = false;
+          break;
+        case 3:
+          config.context.use_token_context = false;
+          config.context.use_attribute_context = false;
+          config.context.use_entity_context = false;
+          break;
+      }
+      HierGatPlusModel model(config);
+      model.Train(data, options);
+      ours[variant] = model.Evaluate(data.test).f1;
+    }
+    const double paper_values[4] = {paper.context, paper.non_entity,
+                                    paper.non_attribute, paper.non_context};
+    std::vector<std::string> row = {paper.name};
+    for (int v = 0; v < 4; ++v) {
+      row.push_back(bench::Fmt(paper_values[v]) + " / " +
+                    bench::Pct(ours[v]));
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: the full-context column should lead its row, with\n"
+      "Non-Context the weakest — all three context levels contribute.\n");
+}
+
+}  // namespace
+}  // namespace hiergat
+
+int main() {
+  hiergat::Run();
+  return 0;
+}

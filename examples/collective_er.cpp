@@ -1,0 +1,66 @@
+// Collective entity resolution: resolve a query against its top-N
+// TF-IDF candidates jointly with HierGAT+ (§2.1, Figure 2), and compare
+// against judging the same candidates independently.
+
+#include <cstdio>
+
+#include "blocking/blocker.h"
+#include "data/synthetic.h"
+#include "er/hiergat.h"
+#include "er/hiergat_plus.h"
+#include "er/model.h"
+
+using namespace hiergat;  // Example code; library code never does this.
+
+int main() {
+  // A multi-source camera corpus: each product is listed by several
+  // shops with shop-specific formatting (the DI2KG setting).
+  MultiSourceDataset raw = GenerateMultiSource("camera", 8, 150, 31);
+  std::printf("multi-source corpus: %zu listings of ~150 products from %d "
+              "sources\n",
+              raw.entities.size(), raw.num_sources);
+
+  // Blocking: every listing queries its top-6 most similar listings.
+  CollectiveBuildOptions build;
+  build.top_n = 6;
+  const CollectiveDataset data = BuildCollectiveFromMultiSource(raw, build);
+  std::printf("collective dataset: %zu/%zu/%zu train/valid/test queries, "
+              "%d candidate pairs total\n",
+              data.train.size(), data.valid.size(), data.test.size(),
+              data.TotalCandidates());
+
+  TrainOptions options;
+  options.epochs = 8;
+
+  // Joint decisions: HierGAT+ builds ONE graph per query holding the
+  // query and all candidates, so candidates compete and shared filler
+  // tokens are discounted (entity-level context + alignment).
+  HierGatPlusConfig config;
+  config.lm_size = LmSize::kSmall;
+  config.lm_pretrain_steps = 1200;
+  HierGatPlusModel hg_plus(config);
+  hg_plus.Train(data, options);
+  std::printf("\nHierGAT+ (joint):       %s\n",
+              hg_plus.Evaluate(data.test).ToString().c_str());
+
+  // Independent decisions: the pairwise model scores each candidate in
+  // isolation (how Table 7 runs the pairwise baselines).
+  HierGatConfig pairwise_config;
+  pairwise_config.lm_size = LmSize::kSmall;
+  pairwise_config.lm_pretrain_steps = 1200;
+  HierGatModel pairwise(pairwise_config);
+  PairwiseAsCollective adapter(&pairwise);
+  adapter.Train(data, options);
+  std::printf("HierGAT (independent):  %s\n",
+              adapter.Evaluate(data.test).ToString().c_str());
+
+  // Inspect one query's joint prediction.
+  const CollectiveQuery& query = data.test.front();
+  std::printf("\nquery: %s\n", query.query.Serialize().c_str());
+  const std::vector<float> probs = hg_plus.PredictQuery(query);
+  for (size_t c = 0; c < query.candidates.size(); ++c) {
+    std::printf("  [%s] P=%.2f  %s\n", query.labels[c] ? "MATCH" : "  -  ",
+                probs[c], query.candidates[c].Serialize().c_str());
+  }
+  return 0;
+}

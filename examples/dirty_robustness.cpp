@@ -1,0 +1,74 @@
+// Dirty-data robustness (§6.2): corrupt a benchmark by injecting
+// attribute values into other attributes (the DeepMatcher "dirty"
+// protocol) and compare how much each matcher loses.
+//
+// Paper shape: Magellan collapses on dirty data (up to -44 F1), while
+// the structure-flexible matchers (serialization / shared token nodes)
+// lose only a point or two.
+
+#include <array>
+#include <cstdio>
+
+#include "data/synthetic.h"
+#include "er/baselines/ditto.h"
+#include "er/baselines/magellan.h"
+#include "er/hiergat.h"
+
+using namespace hiergat;  // Example code; library code never does this.
+
+int main() {
+  SyntheticSpec spec;
+  spec.name = "Walmart-Amazon-like";
+  spec.num_pairs = 300;
+  spec.num_attributes = 5;
+  spec.hardness = 0.6f;
+  spec.noise = 0.06f;
+  spec.seed = 51;
+  const PairDataset clean = GeneratePairDataset(spec);
+  const PairDataset dirty = MakeDirty(clean, 99);
+  std::printf("clean: %d pairs | dirty: same pairs, attribute values "
+              "randomly injected into other attributes\n",
+              clean.TotalSize());
+  std::printf("example dirty record: %s\n\n",
+              dirty.test.front().left.Serialize().c_str());
+
+  TrainOptions options;
+  options.epochs = 8;
+  auto evaluate = [&](const char* label, const PairDataset& data) {
+    MagellanModel magellan;
+    magellan.Train(data, options);
+    const double mg = magellan.Evaluate(data.test).f1;
+
+    DittoConfig dc;
+    dc.lm_size = LmSize::kSmall;
+    dc.lm_pretrain_steps = 1500;
+    DittoModel ditto(dc);
+    ditto.Train(data, options);
+    const double dt = ditto.Evaluate(data.test).f1;
+
+    HierGatConfig hc;
+    hc.lm_size = LmSize::kSmall;
+    hc.lm_pretrain_steps = 1500;
+    HierGatModel hiergat(hc);
+    hiergat.Train(data, options);
+    const double hg = hiergat.Evaluate(data.test).f1;
+
+    std::printf("%-6s  Magellan %.1f | Ditto %.1f | HierGAT %.1f\n", label,
+                100.0 * mg, 100.0 * dt, 100.0 * hg);
+    return std::array<double, 3>{mg, dt, hg};
+  };
+
+  const auto clean_f1 = evaluate("clean", clean);
+  const auto dirty_f1 = evaluate("dirty", dirty);
+  std::printf(
+      "\ndrop    Magellan %+.1f | Ditto %+.1f | HierGAT %+.1f\n",
+      100.0 * (dirty_f1[0] - clean_f1[0]),
+      100.0 * (dirty_f1[1] - clean_f1[1]),
+      100.0 * (dirty_f1[2] - clean_f1[2]));
+  std::printf(
+      "\nExpected shape: the Magellan column drops hardest — its features\n"
+      "compare attribute k against attribute k, which dirty data breaks;\n"
+      "HierGAT's token nodes are shared across attributes, so structure\n"
+      "corruption costs little (the paper reports ~1 point).\n");
+  return 0;
+}

@@ -1,0 +1,174 @@
+#include "blocking/blocker.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "text/tokenizer.h"
+
+namespace hiergat {
+
+std::vector<std::pair<int, int>> KeywordBlock(
+    const std::vector<Entity>& table_a, const std::vector<Entity>& table_b,
+    int min_overlap) {
+  // Inverted index over table_b tokens.
+  std::unordered_map<std::string, std::vector<int>> index;
+  for (size_t j = 0; j < table_b.size(); ++j) {
+    std::unordered_set<std::string> seen;
+    for (const std::string& token : table_b[j].AllValueTokens()) {
+      if (seen.insert(token).second) {
+        index[token].push_back(static_cast<int>(j));
+      }
+    }
+  }
+  std::vector<std::pair<int, int>> candidates;
+  for (size_t i = 0; i < table_a.size(); ++i) {
+    std::unordered_map<int, int> overlap;
+    std::unordered_set<std::string> seen;
+    for (const std::string& token : table_a[i].AllValueTokens()) {
+      if (!seen.insert(token).second) continue;
+      auto it = index.find(token);
+      if (it == index.end()) continue;
+      for (int j : it->second) ++overlap[j];
+    }
+    for (const auto& [j, count] : overlap) {
+      if (count >= min_overlap) {
+        candidates.emplace_back(static_cast<int>(i), j);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  return candidates;
+}
+
+float BlockingRecall(const std::vector<std::pair<int, int>>& candidates,
+                     const std::vector<std::pair<int, int>>& gold) {
+  if (gold.empty()) return 1.0f;
+  std::set<std::pair<int, int>> kept(candidates.begin(), candidates.end());
+  int hit = 0;
+  for (const auto& g : gold) hit += kept.count(g) ? 1 : 0;
+  return static_cast<float>(hit) / static_cast<float>(gold.size());
+}
+
+TfIdfBlocker::TfIdfBlocker(const std::vector<Entity>& corpus) {
+  std::vector<std::vector<std::string>> documents;
+  documents.reserve(corpus.size());
+  for (const Entity& e : corpus) documents.push_back(e.AllValueTokens());
+  vectorizer_.Fit(documents);
+  vectors_.reserve(documents.size());
+  for (const auto& doc : documents) {
+    vectors_.push_back(vectorizer_.Transform(doc));
+  }
+}
+
+std::vector<int> TfIdfBlocker::TopN(const Entity& query, int n,
+                                    int exclude) const {
+  const SparseVector qv = vectorizer_.Transform(query.AllValueTokens());
+  std::vector<std::pair<float, int>> scored;
+  scored.reserve(vectors_.size());
+  for (size_t j = 0; j < vectors_.size(); ++j) {
+    if (static_cast<int>(j) == exclude) continue;
+    scored.emplace_back(TfIdfVectorizer::Cosine(qv, vectors_[j]),
+                        static_cast<int>(j));
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(n), scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first ||
+                             (a.first == b.first && a.second < b.second);
+                    });
+  std::vector<int> result;
+  result.reserve(keep);
+  for (size_t k = 0; k < keep; ++k) result.push_back(scored[k].second);
+  return result;
+}
+
+namespace {
+
+/// Shuffles indices [0, n) and splits them 3:1:1.
+void SplitIndices(int n, uint64_t seed, std::vector<int>* train,
+                  std::vector<int>* valid, std::vector<int>* test) {
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  Rng rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextUint64(i)]);
+  }
+  const size_t train_end = order.size() * 3 / 5;
+  const size_t valid_end = order.size() * 4 / 5;
+  train->assign(order.begin(), order.begin() + train_end);
+  valid->assign(order.begin() + train_end, order.begin() + valid_end);
+  test->assign(order.begin() + valid_end, order.end());
+}
+
+}  // namespace
+
+CollectiveDataset BuildCollective(const TwoTableDataset& raw,
+                                  const CollectiveBuildOptions& options) {
+  // Gold map: table_a index -> matching table_b index.
+  std::unordered_map<int, int> gold;
+  for (const auto& [a, b] : raw.matches) gold[a] = b;
+
+  CollectiveDataset out;
+  out.name = raw.name;
+  std::vector<int> train, valid, test;
+  SplitIndices(static_cast<int>(raw.table_a.size()), options.seed, &train,
+               &valid, &test);
+
+  // §6.3: split first, then block inside each split.
+  const TfIdfBlocker blocker(raw.table_b);
+  auto build = [&](const std::vector<int>& queries,
+                   std::vector<CollectiveQuery>* split) {
+    for (int qi : queries) {
+      CollectiveQuery q;
+      q.query = raw.table_a[static_cast<size_t>(qi)];
+      const std::vector<int> top =
+          blocker.TopN(q.query, options.top_n, /*exclude=*/-1);
+      const auto it = gold.find(qi);
+      for (int bj : top) {
+        q.candidates.push_back(raw.table_b[static_cast<size_t>(bj)]);
+        q.labels.push_back(it != gold.end() && it->second == bj ? 1 : 0);
+      }
+      split->push_back(std::move(q));
+    }
+  };
+  build(train, &out.train);
+  build(valid, &out.valid);
+  build(test, &out.test);
+  return out;
+}
+
+CollectiveDataset BuildCollectiveFromMultiSource(
+    const MultiSourceDataset& raw, const CollectiveBuildOptions& options) {
+  CollectiveDataset out;
+  out.name = raw.name;
+  std::vector<int> train, valid, test;
+  SplitIndices(static_cast<int>(raw.entities.size()), options.seed, &train,
+               &valid, &test);
+  const TfIdfBlocker blocker(raw.entities);
+  auto build = [&](const std::vector<int>& queries,
+                   std::vector<CollectiveQuery>* split) {
+    for (int qi : queries) {
+      CollectiveQuery q;
+      q.query = raw.entities[static_cast<size_t>(qi)];
+      const std::vector<int> top =
+          blocker.TopN(q.query, options.top_n, /*exclude=*/qi);
+      const int cluster = raw.cluster_ids[static_cast<size_t>(qi)];
+      for (int j : top) {
+        q.candidates.push_back(raw.entities[static_cast<size_t>(j)]);
+        q.labels.push_back(
+            raw.cluster_ids[static_cast<size_t>(j)] == cluster ? 1 : 0);
+      }
+      split->push_back(std::move(q));
+    }
+  };
+  build(train, &out.train);
+  build(valid, &out.valid);
+  build(test, &out.test);
+  return out;
+}
+
+}  // namespace hiergat

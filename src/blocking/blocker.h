@@ -1,0 +1,65 @@
+#ifndef HIERGAT_BLOCKING_BLOCKER_H_
+#define HIERGAT_BLOCKING_BLOCKER_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/entity.h"
+#include "data/synthetic.h"
+#include "text/tfidf.h"
+
+namespace hiergat {
+
+/// Key-word filtering blocker (§3, Figure 5): keeps a candidate pair
+/// when its value-token sets share at least `min_overlap` tokens.
+/// Returns (index in table_a, index in table_b) pairs.
+std::vector<std::pair<int, int>> KeywordBlock(
+    const std::vector<Entity>& table_a, const std::vector<Entity>& table_b,
+    int min_overlap);
+
+/// Recall of a blocking result against gold matches: fraction of gold
+/// pairs that survive blocking.
+float BlockingRecall(const std::vector<std::pair<int, int>>& candidates,
+                     const std::vector<std::pair<int, int>>& gold);
+
+/// TF-IDF cosine top-N candidate generator (§6.3): indexes one entity
+/// collection, then returns the N most similar entries for any query.
+class TfIdfBlocker {
+ public:
+  /// Builds the index over `corpus`.
+  explicit TfIdfBlocker(const std::vector<Entity>& corpus);
+
+  /// Indices of the top-N corpus entities by TF-IDF cosine similarity
+  /// to `query`. `exclude` (or -1) removes one corpus position (used
+  /// when the query itself lives in the corpus).
+  std::vector<int> TopN(const Entity& query, int n, int exclude = -1) const;
+
+  int corpus_size() const { return static_cast<int>(vectors_.size()); }
+
+ private:
+  TfIdfVectorizer vectorizer_;
+  std::vector<SparseVector> vectors_;
+};
+
+/// Options for building collective-ER datasets.
+struct CollectiveBuildOptions {
+  int top_n = 16;       ///< Candidates per query (paper sets N = 16).
+  uint64_t seed = 23;   ///< Split shuffling seed.
+};
+
+/// Builds a collective dataset from a two-table benchmark following the
+/// paper's §6.3 protocol: *split the query entities first* (3:1:1), then
+/// run TF-IDF top-N blocking inside each split, so test queries never
+/// appear during training.
+CollectiveDataset BuildCollective(const TwoTableDataset& raw,
+                                  const CollectiveBuildOptions& options);
+
+/// Builds a collective dataset from a DI2KG-style multi-source corpus:
+/// every entity in turn is a query, its candidates are the top-N most
+/// similar other entities, and labels come from the gold cluster ids.
+CollectiveDataset BuildCollectiveFromMultiSource(
+    const MultiSourceDataset& raw, const CollectiveBuildOptions& options);
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_BLOCKING_BLOCKER_H_

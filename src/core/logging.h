@@ -1,0 +1,54 @@
+#ifndef HIERGAT_CORE_LOGGING_H_
+#define HIERGAT_CORE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace hiergat {
+namespace internal_logging {
+
+/// Terminates the process after streaming a fatal diagnostic. Used by the
+/// HG_CHECK family for programming errors (invariant violations); for
+/// recoverable errors use Status instead.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "[FATAL] " << file << ":" << line << " check failed: "
+            << condition << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace hiergat
+
+/// Fatal invariant check; evaluates `cond` exactly once.
+#define HG_CHECK(cond)                                                 \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::hiergat::internal_logging::FatalMessage(__FILE__, __LINE__, #cond) \
+        .stream()
+
+#define HG_CHECK_EQ(a, b) HG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HG_CHECK_NE(a, b) HG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HG_CHECK_LT(a, b) HG_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HG_CHECK_LE(a, b) HG_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HG_CHECK_GT(a, b) HG_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define HG_CHECK_GE(a, b) HG_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Propagates a non-OK Status from the current function.
+#define HG_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::hiergat::Status hg_status_ = (expr);    \
+    if (!hg_status_.ok()) return hg_status_;  \
+  } while (false)
+
+#endif  // HIERGAT_CORE_LOGGING_H_

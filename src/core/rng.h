@@ -1,0 +1,86 @@
+#ifndef HIERGAT_CORE_RNG_H_
+#define HIERGAT_CORE_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+
+namespace hiergat {
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256** core). Every stochastic component in the library takes
+/// an explicit seed so experiments are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t NextUint64(uint64_t n) { return n == 0 ? 0 : NextUint64() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextUint64(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>(NextUint64() >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform float in [lo, hi).
+  float NextFloat(float lo, float hi) { return lo + (hi - lo) * NextFloat(); }
+
+  /// Standard normal via Box-Muller.
+  float NextGaussian() {
+    if (have_cached_) {
+      have_cached_ = false;
+      return cached_;
+    }
+    float u1 = NextFloat();
+    float u2 = NextFloat();
+    if (u1 < 1e-12f) u1 = 1e-12f;
+    const float r = std::sqrt(-2.0f * std::log(u1));
+    const float theta = 6.28318530718f * u2;
+    cached_ = r * std::sin(theta);
+    have_cached_ = true;
+    return r * std::cos(theta);
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool NextBool(float p) { return NextFloat() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  bool have_cached_ = false;
+  float cached_ = 0.0f;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_CORE_RNG_H_

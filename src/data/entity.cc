@@ -1,0 +1,69 @@
+#include "data/entity.h"
+
+#include "text/tokenizer.h"
+
+namespace hiergat {
+
+const std::string& Entity::Get(const std::string& key) const {
+  static const std::string kMissing = kMissingValue;
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return kMissing;
+}
+
+void Entity::Set(const std::string& key, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(key, std::move(value));
+}
+
+std::string Entity::Serialize() const {
+  std::string out;
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i) out += " | ";
+    out += attributes_[i].first;
+    out += ": ";
+    out += attributes_[i].second;
+  }
+  return out;
+}
+
+std::vector<std::string> Entity::AllValueTokens() const {
+  std::vector<std::string> tokens;
+  for (const auto& [key, value] : attributes_) {
+    std::vector<std::string> t = Tokenize(value);
+    tokens.insert(tokens.end(), t.begin(), t.end());
+  }
+  return tokens;
+}
+
+int PairDataset::PositiveCount() const {
+  int count = 0;
+  for (const auto* split : {&train, &valid, &test}) {
+    for (const EntityPair& pair : *split) count += pair.label;
+  }
+  return count;
+}
+
+int PairDataset::NumAttributes() const {
+  if (!train.empty()) return train.front().left.num_attributes();
+  if (!test.empty()) return test.front().left.num_attributes();
+  return 0;
+}
+
+int CollectiveDataset::TotalCandidates() const {
+  int count = 0;
+  for (const auto* split : {&train, &valid, &test}) {
+    for (const CollectiveQuery& q : *split) {
+      count += static_cast<int>(q.candidates.size());
+    }
+  }
+  return count;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,106 @@
+#ifndef HIERGAT_DATA_ENTITY_H_
+#define HIERGAT_DATA_ENTITY_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hiergat {
+
+/// The value used for missing attributes (§2: "the missing attributes are
+/// filled with word NAN").
+inline constexpr const char* kMissingValue = "NAN";
+
+/// A data entity: an ordered list of <key, value> attribute pairs
+/// describing one real-world object (product, paper, album, ...).
+class Entity {
+ public:
+  Entity() = default;
+
+  /// Appends an attribute (keys may repeat only across entities).
+  void Add(std::string key, std::string value) {
+    attributes_.emplace_back(std::move(key), std::move(value));
+  }
+
+  /// Value for `key`, or kMissingValue if absent.
+  const std::string& Get(const std::string& key) const;
+
+  /// Replaces the value of `key` (adds the attribute if absent).
+  void Set(const std::string& key, std::string value);
+
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  const std::pair<std::string, std::string>& attribute(int i) const {
+    return attributes_[static_cast<size_t>(i)];
+  }
+  std::pair<std::string, std::string>& attribute(int i) {
+    return attributes_[static_cast<size_t>(i)];
+  }
+  const std::vector<std::pair<std::string, std::string>>& attributes() const {
+    return attributes_;
+  }
+
+  /// "key: value | key: value" rendering (the Ditto-style serialization
+  /// and the display format for examples).
+  std::string Serialize() const;
+
+  /// All attribute-value tokens concatenated (keys excluded), used by
+  /// blocking and TF-IDF.
+  std::vector<std::string> AllValueTokens() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> attributes_;
+};
+
+/// A labeled candidate pair for pairwise ER.
+struct EntityPair {
+  Entity left;
+  Entity right;
+  int label = 0;  ///< 1 = match, 0 = non-match.
+};
+
+/// A pairwise ER dataset with fixed train/validation/test splits.
+struct PairDataset {
+  std::string name;
+  std::string domain;
+  std::vector<EntityPair> train;
+  std::vector<EntityPair> valid;
+  std::vector<EntityPair> test;
+
+  int TotalSize() const {
+    return static_cast<int>(train.size() + valid.size() + test.size());
+  }
+  int PositiveCount() const;
+  int NumAttributes() const;
+};
+
+/// One collective-ER instance: a query entity with N candidates and a
+/// 0/1 label per candidate (§2.1, Figure 2).
+struct CollectiveQuery {
+  Entity query;
+  std::vector<Entity> candidates;
+  std::vector<int> labels;
+};
+
+/// A collective ER dataset (queries pre-blocked to top-N candidates).
+struct CollectiveDataset {
+  std::string name;
+  std::vector<CollectiveQuery> train;
+  std::vector<CollectiveQuery> valid;
+  std::vector<CollectiveQuery> test;
+
+  int TotalCandidates() const;
+};
+
+/// Two raw source tables plus the gold mapping between them, i.e. the
+/// un-blocked form of a Magellan-style benchmark (Table 5).
+struct TwoTableDataset {
+  std::string name;
+  std::vector<Entity> table_a;
+  std::vector<Entity> table_b;
+  /// Gold matches as (index in table_a, index in table_b).
+  std::vector<std::pair<int, int>> matches;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_DATA_ENTITY_H_

@@ -1,0 +1,638 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/logging.h"
+#include "core/rng.h"
+
+namespace hiergat {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Word machinery
+// ---------------------------------------------------------------------
+
+const char* const kConsonants[] = {"b", "d", "f", "g", "k", "l", "m",
+                                   "n", "p", "r", "s", "t", "v", "z"};
+const char* const kVowels[] = {"a", "e", "i", "o", "u"};
+
+/// Pronounceable synthetic word ("zorate", "melvino") for brands/lines.
+std::string MakeWord(Rng& rng, int syllables) {
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    word += kConsonants[rng.NextUint64(std::size(kConsonants))];
+    word += kVowels[rng.NextUint64(std::size(kVowels))];
+  }
+  return word;
+}
+
+/// Discriminative model code, e.g. "mx3420".
+std::string MakeModelCode(Rng& rng) {
+  std::string code;
+  code += static_cast<char>('a' + rng.NextUint64(26));
+  code += static_cast<char>('a' + rng.NextUint64(26));
+  for (int i = 0; i < 4; ++i) {
+    code += static_cast<char>('0' + rng.NextUint64(10));
+  }
+  return code;
+}
+
+const char* const kFillers[] = {
+    "the",  "and",   "with",  "for",    "new",    "series", "pro",
+    "plus", "high",  "great", "best",   "design", "use",    "all",
+    "top",  "fully", "from",  "deluxe", "value",  "pack",   "set",
+    "easy", "home",  "tech",  "smart"};
+
+const char* const kDescriptorsFixed[] = {
+    "wireless", "portable", "digital",   "compact", "premium",
+    "advanced", "classic",  "automatic", "slim",    "heavy",
+    "duty",     "rapid",    "quiet",     "bright",  "sturdy"};
+
+std::vector<std::string> CategoriesFor(const std::string& domain) {
+  if (domain == "citation") return {"database", "systems", "theory", "ml"};
+  if (domain == "music") return {"rock", "jazz", "pop", "classical"};
+  if (domain == "restaurant") return {"italian", "asian", "grill", "cafe"};
+  if (domain == "company") return {"finance", "retail", "software", "media"};
+  return {"electronics", "sports", "food", "office"};
+}
+
+std::string ApplyTypo(std::string word, Rng& rng) {
+  if (word.size() < 4) return word;
+  const size_t i = 1 + rng.NextUint64(word.size() - 2);
+  if (rng.NextBool(0.5f)) {
+    std::swap(word[i], word[i - 1]);  // transposition
+  } else {
+    word.erase(i, 1);  // deletion
+  }
+  return word;
+}
+
+// ---------------------------------------------------------------------
+// Catalog: true entities grouped into families
+// ---------------------------------------------------------------------
+
+struct TrueEntity {
+  int id = 0;
+  int family = 0;
+  std::string brand;
+  std::string line;
+  std::string model;  // The discriminative token.
+  std::string category;
+  std::vector<std::string> descriptors;  // Shared within the family.
+  std::vector<std::string> desc_words;   // Description body.
+  int price = 0;
+  int year = 0;
+};
+
+struct Catalog {
+  std::vector<TrueEntity> entities;
+  std::vector<std::vector<int>> families;  // Entity ids per family.
+  /// Bidirectional synonym map over descriptor/filler vocabulary: two
+  /// sources may use different surface forms for the same concept.
+  /// Token-overlap methods cannot bridge synonyms; embedding methods
+  /// learn to (the semantic gap of §1).
+  std::unordered_map<std::string, std::string> synonyms;
+};
+
+Catalog MakeCatalog(const std::string& domain, int num_families,
+                    int min_per_family, int max_per_family, int desc_len,
+                    Rng& rng) {
+  Catalog catalog;
+  const std::vector<std::string> categories = CategoriesFor(domain);
+  // Polysemous descriptors: shared across categories so that their
+  // evidential meaning depends on the surrounding context (§1 "Giant").
+  std::vector<std::string> polysemous;
+  for (int i = 0; i < 8; ++i) polysemous.push_back(MakeWord(rng, 2));
+  // Synonym surface forms for about half of the fixed descriptor and
+  // filler vocabulary.
+  auto add_synonym = [&](const std::string& word) {
+    if (!rng.NextBool(0.5f)) return;
+    const std::string alt = MakeWord(rng, 3);
+    catalog.synonyms[word] = alt;
+    catalog.synonyms[alt] = word;
+  };
+  for (const char* word : kFillers) add_synonym(word);
+  for (const char* word : kDescriptorsFixed) add_synonym(word);
+
+  int next_id = 0;
+  for (int f = 0; f < num_families; ++f) {
+    const std::string brand = MakeWord(rng, 2 + rng.NextUint64(2));
+    const std::string line = MakeWord(rng, 2);
+    const std::string category =
+        categories[rng.NextUint64(categories.size())];
+    std::vector<std::string> descriptors;
+    for (int d = 0; d < 3; ++d) {
+      if (rng.NextBool(0.25f)) {
+        descriptors.push_back(polysemous[rng.NextUint64(polysemous.size())]);
+      } else {
+        descriptors.push_back(
+            kDescriptorsFixed[rng.NextUint64(std::size(kDescriptorsFixed))]);
+      }
+    }
+    // Family-level shared description body (the redundant-context pool).
+    std::vector<std::string> shared_desc;
+    const int shared_len = std::max(3, desc_len - 3);
+    for (int w = 0; w < shared_len; ++w) {
+      if (rng.NextBool(0.6f)) {
+        shared_desc.push_back(kFillers[rng.NextUint64(std::size(kFillers))]);
+      } else {
+        shared_desc.push_back(MakeWord(rng, 2));
+        add_synonym(shared_desc.back());
+      }
+    }
+    // Family-level price/year bands: sibling products cost about the
+    // same, so price must NOT separate hard negatives from positives.
+    const int family_price = static_cast<int>(rng.NextInt(10, 2000));
+    const int family_year = static_cast<int>(rng.NextInt(2006, 2020));
+    const int members =
+        static_cast<int>(rng.NextInt(min_per_family, max_per_family));
+    std::vector<int> member_ids;
+    for (int m = 0; m < members; ++m) {
+      TrueEntity e;
+      e.id = next_id++;
+      e.family = f;
+      e.brand = brand;
+      e.line = line;
+      e.model = MakeModelCode(rng);
+      e.category = category;
+      e.descriptors = descriptors;
+      e.desc_words = shared_desc;
+      // A few entity-unique description words.
+      for (int w = 0; w < 3; ++w) e.desc_words.push_back(MakeWord(rng, 2));
+      e.price = family_price +
+                static_cast<int>(rng.NextInt(0, std::max(1, family_price / 20)));
+      e.year = family_year + static_cast<int>(rng.NextInt(-1, 1));
+      member_ids.push_back(e.id);
+      catalog.entities.push_back(std::move(e));
+    }
+    catalog.families.push_back(std::move(member_ids));
+  }
+  return catalog;
+}
+
+// ---------------------------------------------------------------------
+// Rendering: true entity -> noisy source view
+// ---------------------------------------------------------------------
+
+std::vector<std::string> SchemaFor(int num_attributes,
+                                   const std::string& domain) {
+  std::vector<std::string> schema;
+  if (num_attributes == 1) return {"content"};
+  if (domain == "citation") {
+    schema = {"title", "authors", "venue", "year", "pages", "publisher",
+              "volume", "number"};
+  } else if (domain == "music") {
+    schema = {"title", "artist", "album", "genre", "price", "released",
+              "time", "copyright"};
+  } else {
+    schema = {"title", "brand", "description", "price", "category", "year",
+              "code", "extra"};
+  }
+  schema.resize(static_cast<size_t>(
+      std::min<int>(num_attributes, static_cast<int>(schema.size()))));
+  return schema;
+}
+
+std::string MaybeTypo(const std::string& word, float noise, Rng& rng) {
+  return rng.NextBool(noise) ? ApplyTypo(word, rng) : word;
+}
+
+/// Renders the noisy view of `e` seen from one source. `style` controls
+/// systematic per-source formatting (token order, abbreviations);
+/// `noise` controls stochastic per-view corruption (drops, typos,
+/// synonym substitution, reordering).
+Entity Render(const TrueEntity& e, const Catalog& catalog,
+              const std::vector<std::string>& schema, int style, float noise,
+              Rng& rng) {
+  const bool reorder = (style % 2) == 1;
+  const bool abbreviate = (style % 3) == 1 || rng.NextBool(0.15f);
+  const std::string brand_shown =
+      abbreviate && e.brand.size() > 4 ? e.brand.substr(0, 4) : e.brand;
+  // Each source places the discriminative model code where it likes:
+  // title or free-text description. Slot-aligned matchers (DeepMatcher
+  // compares attribute k against attribute k) lose this evidence when
+  // the two views disagree; serialized (Ditto) and graph-based
+  // (HierGAT: one token node regardless of attribute) matchers keep it.
+  const bool has_description =
+      std::find(schema.begin(), schema.end(), "description") !=
+          schema.end() ||
+      std::find(schema.begin(), schema.end(), "album") != schema.end() ||
+      schema.front() == "content";
+  const bool model_in_title = !has_description || rng.NextBool(0.5f);
+  // Source-specific wording: swap a token for its synonym.
+  auto reword = [&](const std::string& token) {
+    auto it = catalog.synonyms.find(token);
+    if (it != catalog.synonyms.end() && rng.NextBool(noise * 2.0f)) {
+      return it->second;
+    }
+    return token;
+  };
+
+  // Title: brand line model descriptor(s), order per style.
+  std::vector<std::string> title_tokens;
+  if (reorder) {
+    title_tokens = {e.line, e.descriptors[0], brand_shown};
+  } else {
+    title_tokens = {brand_shown, e.line, e.descriptors[0]};
+  }
+  if (model_in_title) {
+    title_tokens.insert(title_tokens.begin() + (reorder ? 1 : 2), e.model);
+  }
+  if (rng.NextBool(0.5f)) title_tokens.push_back(e.descriptors[1]);
+  std::string title;
+  for (const std::string& t : title_tokens) {
+    if (rng.NextBool(noise)) continue;  // token drop
+    if (!title.empty()) title += " ";
+    title += MaybeTypo(reword(t), noise, rng);
+  }
+  if (title.empty()) title = e.model;
+
+  // Description: family-shared body + descriptors (+ model if it was
+  // dropped from the title or at random).
+  std::vector<std::string> desc_tokens = e.desc_words;
+  desc_tokens.push_back(e.descriptors[1]);
+  desc_tokens.push_back(e.descriptors[2]);
+  if (!model_in_title || rng.NextBool(0.4f)) desc_tokens.push_back(e.model);
+  // Light shuffle: random adjacent swaps proportional to noise.
+  const int swaps =
+      static_cast<int>(noise * 10.0f * static_cast<float>(desc_tokens.size()));
+  for (int s = 0; s < swaps; ++s) {
+    const size_t i = rng.NextUint64(desc_tokens.size() - 1);
+    std::swap(desc_tokens[i], desc_tokens[i + 1]);
+  }
+  std::string description;
+  for (const std::string& t : desc_tokens) {
+    if (rng.NextBool(noise * 0.8f)) continue;
+    if (!description.empty()) description += " ";
+    description += MaybeTypo(reword(t), noise * 0.6f, rng);
+  }
+
+  // Listed prices drift up to ~8% between sources, so price similarity
+  // does not distinguish positives from same-family hard negatives.
+  const int price_jitter = std::max(1, e.price * 8 / 100);
+  const int price_shown =
+      e.price + static_cast<int>(rng.NextInt(-price_jitter, price_jitter));
+
+  Entity out;
+  for (const std::string& key : schema) {
+    std::string value;
+    if (key == "content") {
+      value = title + " " + description + " " + e.category + " " +
+              std::to_string(price_shown);
+    } else if (key == "title") {
+      value = title;
+    } else if (key == "brand" || key == "artist" || key == "authors") {
+      value = brand_shown + (key == "authors" ? " " + e.line : "");
+    } else if (key == "description" || key == "album" || key == "pages") {
+      value = description;
+    } else if (key == "price") {
+      value = std::to_string(price_shown);
+    } else if (key == "category" || key == "genre" || key == "venue") {
+      value = e.category;
+    } else if (key == "year" || key == "released") {
+      value = std::to_string(e.year);
+    } else if (key == "code" || key == "volume") {
+      // Family-level features, NOT the raw model code: exposing the
+      // discriminative token as its own clean column would let a single
+      // string-equality feature solve the task (§1's point is that the
+      // discriminative evidence is buried inside text).
+      value = e.descriptors[0] + " " + e.line;
+    } else {
+      value = e.descriptors[2] + " " + e.line;
+    }
+    if (value.empty() || rng.NextBool(noise * 0.2f)) value = kMissingValue;
+    out.Add(key, std::move(value));
+  }
+  return out;
+}
+
+/// DeepMatcher-style dirty corruption: move a random attribute's value
+/// into another attribute, leaving NAN behind (§6.1).
+void CorruptEntity(Entity* entity, Rng& rng) {
+  const int n = entity->num_attributes();
+  if (n < 2) return;
+  for (int i = 0; i < n; ++i) {
+    if (!rng.NextBool(0.3f)) continue;
+    auto& [key, value] = entity->attribute(i);
+    if (value == kMissingValue) continue;
+    int j = static_cast<int>(rng.NextUint64(static_cast<uint64_t>(n)));
+    if (j == i) j = (i + 1) % n;
+    auto& [tkey, tvalue] = entity->attribute(j);
+    if (tvalue == kMissingValue) {
+      tvalue = value;
+    } else {
+      tvalue += " " + value;
+    }
+    value = kMissingValue;
+  }
+}
+
+/// Draws a labeled pair from the catalog.
+EntityPair MakePair(const Catalog& catalog,
+                    const std::vector<std::string>& schema,
+                    const SyntheticSpec& spec, bool positive, Rng& rng) {
+  EntityPair pair;
+  if (positive) {
+    const TrueEntity& e =
+        catalog.entities[rng.NextUint64(catalog.entities.size())];
+    pair.left = Render(e, catalog, schema, /*style=*/0, spec.noise, rng);
+    pair.right = Render(e, catalog, schema, /*style=*/1, spec.noise, rng);
+    pair.label = 1;
+    return pair;
+  }
+  pair.label = 0;
+  if (rng.NextBool(spec.hardness)) {
+    // Hard negative: two siblings of one family.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::vector<int>& family =
+          catalog.families[rng.NextUint64(catalog.families.size())];
+      if (family.size() < 2) continue;
+      const size_t i = rng.NextUint64(family.size());
+      size_t j = rng.NextUint64(family.size());
+      if (j == i) j = (j + 1) % family.size();
+      pair.left = Render(catalog.entities[static_cast<size_t>(family[i])],
+                         catalog, schema, 0, spec.noise, rng);
+      pair.right = Render(catalog.entities[static_cast<size_t>(family[j])],
+                          catalog, schema, 1, spec.noise, rng);
+      return pair;
+    }
+  }
+  // Easy negative: two unrelated entities.
+  const size_t i = rng.NextUint64(catalog.entities.size());
+  size_t j = rng.NextUint64(catalog.entities.size());
+  if (catalog.entities[j].family == catalog.entities[i].family) {
+    j = (j + catalog.families.back().size() + 1) % catalog.entities.size();
+  }
+  pair.left = Render(catalog.entities[i], catalog, schema, 0, spec.noise, rng);
+  pair.right = Render(catalog.entities[j], catalog, schema, 1, spec.noise, rng);
+  return pair;
+}
+
+void SplitPairs(std::vector<EntityPair> pairs, PairDataset* out, Rng& rng) {
+  // Fisher-Yates shuffle, then 3:1:1.
+  for (size_t i = pairs.size(); i > 1; --i) {
+    std::swap(pairs[i - 1], pairs[rng.NextUint64(i)]);
+  }
+  const size_t n = pairs.size();
+  const size_t train_end = n * 3 / 5;
+  const size_t valid_end = n * 4 / 5;
+  out->train.assign(pairs.begin(), pairs.begin() + train_end);
+  out->valid.assign(pairs.begin() + train_end, pairs.begin() + valid_end);
+  out->test.assign(pairs.begin() + valid_end, pairs.end());
+}
+
+}  // namespace
+
+PairDataset GeneratePairDataset(const SyntheticSpec& spec) {
+  HG_CHECK_GT(spec.num_pairs, 0);
+  Rng rng(spec.seed);
+  // Enough families that positives rarely collide, few enough that
+  // hard negatives are plentiful.
+  const int num_families = std::max(4, spec.num_pairs / 8);
+  Catalog catalog =
+      MakeCatalog(spec.domain, num_families, 2, 4, spec.desc_len, rng);
+  const std::vector<std::string> schema =
+      SchemaFor(spec.num_attributes, spec.domain);
+
+  const int num_pos = std::max(
+      1, static_cast<int>(std::lround(spec.num_pairs * spec.positive_ratio)));
+  std::vector<EntityPair> pairs;
+  pairs.reserve(static_cast<size_t>(spec.num_pairs));
+  for (int i = 0; i < num_pos; ++i) {
+    pairs.push_back(MakePair(catalog, schema, spec, /*positive=*/true, rng));
+  }
+  for (int i = num_pos; i < spec.num_pairs; ++i) {
+    pairs.push_back(MakePair(catalog, schema, spec, /*positive=*/false, rng));
+  }
+  if (spec.dirty) {
+    for (EntityPair& pair : pairs) {
+      CorruptEntity(&pair.left, rng);
+      CorruptEntity(&pair.right, rng);
+    }
+  }
+  PairDataset dataset;
+  dataset.name = spec.name;
+  dataset.domain = spec.domain;
+  SplitPairs(std::move(pairs), &dataset, rng);
+  return dataset;
+}
+
+PairDataset MakeDirty(const PairDataset& clean, uint64_t seed) {
+  Rng rng(seed);
+  PairDataset dirty = clean;
+  dirty.name = "Dirty-" + clean.name;
+  for (auto* split : {&dirty.train, &dirty.valid, &dirty.test}) {
+    for (EntityPair& pair : *split) {
+      CorruptEntity(&pair.left, rng);
+      CorruptEntity(&pair.right, rng);
+    }
+  }
+  return dirty;
+}
+
+namespace {
+
+SyntheticSpec Spec(const std::string& name, const std::string& domain,
+                   int pairs, float pos, int attrs, float hardness,
+                   float noise, int desc_len, uint64_t seed) {
+  SyntheticSpec s;
+  s.name = name;
+  s.domain = domain;
+  s.num_pairs = pairs;
+  s.positive_ratio = pos;
+  s.num_attributes = attrs;
+  s.hardness = hardness;
+  s.noise = noise;
+  s.desc_len = desc_len;
+  s.seed = seed;
+  return s;
+}
+
+int Scaled(int paper_size, double scale) {
+  return std::max(60, static_cast<int>(paper_size * scale));
+}
+
+}  // namespace
+
+std::vector<SyntheticSpec> MagellanSpecs(double scale) {
+  // Sizes/#attrs/positive ratios mirror Table 1; hardness and noise are
+  // tuned so relative difficulty tracks the paper's F1 landscape
+  // (Fodors-Zagats and DBLP-ACM nearly clean, Amazon-Google hardest).
+  return {
+      Spec("Beer", "product", Scaled(450, scale), 0.151f, 4, 0.75f, 0.10f,
+           10, 11),
+      Spec("iTunes-Amazon", "music", Scaled(539, scale), 0.245f, 8, 0.70f,
+           0.09f, 12, 12),
+      Spec("Fodors-Zagats", "restaurant", Scaled(946, scale), 0.116f, 6,
+           0.30f, 0.03f, 10, 13),
+      Spec("DBLP-ACM", "citation", Scaled(12363, scale), 0.180f, 4, 0.40f,
+           0.03f, 12, 14),
+      Spec("DBLP-Scholar", "citation", Scaled(28707, scale), 0.186f, 4,
+           0.50f, 0.06f, 12, 15),
+      Spec("Amazon-Google", "product", Scaled(11460, scale), 0.102f, 3,
+           0.90f, 0.13f, 14, 16),
+      Spec("Walmart-Amazon", "product", Scaled(10242, scale), 0.094f, 5,
+           0.80f, 0.10f, 14, 17),
+      Spec("Abt-Buy", "product", Scaled(9575, scale), 0.107f, 3, 0.80f,
+           0.10f, 18, 18),
+      Spec("Company", "company", Scaled(112632, scale), 0.250f, 1, 0.70f,
+           0.08f, 30, 19),
+  };
+}
+
+std::vector<SyntheticSpec> DirtyMagellanSpecs(double scale) {
+  std::vector<SyntheticSpec> dirty;
+  for (const SyntheticSpec& spec : MagellanSpecs(scale)) {
+    if (spec.name == "iTunes-Amazon" || spec.name == "DBLP-ACM" ||
+        spec.name == "DBLP-Scholar" || spec.name == "Walmart-Amazon") {
+      SyntheticSpec d = spec;
+      d.name = "Dirty-" + spec.name;
+      d.dirty = true;
+      dirty.push_back(d);
+    }
+  }
+  return dirty;
+}
+
+std::vector<EntityPair> WdcDataset::TrainSlice(const std::string& tier) const {
+  int size = xlarge;
+  if (tier == "small") size = small;
+  else if (tier == "medium") size = medium;
+  else if (tier == "large") size = large;
+  return std::vector<EntityPair>(
+      train_pool.begin(),
+      train_pool.begin() + std::min<size_t>(train_pool.size(),
+                                            static_cast<size_t>(size)));
+}
+
+WdcDataset GenerateWdc(const std::string& domain, int xlarge_size,
+                       int test_size, uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "wdc-" + domain;
+  spec.domain = "product";
+  spec.num_attributes = 1;  // WDC aligns only the title attribute.
+  spec.positive_ratio = 300.0f / 1100.0f;
+  spec.hardness = 0.85f;  // WDC negatives are selected for high text sim.
+  spec.noise = 0.10f;
+  spec.desc_len = 8;
+  spec.seed = seed;
+
+  Rng rng(seed);
+  Catalog catalog = MakeCatalog(spec.domain, std::max(8, xlarge_size / 8), 2,
+                                4, spec.desc_len, rng);
+  const std::vector<std::string> schema = {"title"};
+  auto draw = [&](int count, std::vector<EntityPair>* out) {
+    const int pos = static_cast<int>(std::lround(count * spec.positive_ratio));
+    for (int i = 0; i < count; ++i) {
+      out->push_back(MakePair(catalog, schema, spec, i < pos, rng));
+    }
+    for (size_t i = out->size(); i > 1; --i) {
+      std::swap((*out)[i - 1], (*out)[rng.NextUint64(i)]);
+    }
+  };
+  WdcDataset wdc;
+  wdc.domain = domain;
+  draw(xlarge_size, &wdc.train_pool);
+  draw(test_size, &wdc.test);
+  wdc.xlarge = xlarge_size;
+  wdc.large = std::max(1, xlarge_size / 2);
+  wdc.medium = std::max(1, xlarge_size / 8);
+  wdc.small = std::max(1, xlarge_size / 24);
+  return wdc;
+}
+
+WdcDataset PoolWdc(const std::vector<WdcDataset>& domains) {
+  WdcDataset all;
+  all.domain = "all";
+  for (const WdcDataset& d : domains) {
+    all.train_pool.insert(all.train_pool.end(), d.train_pool.begin(),
+                          d.train_pool.end());
+    all.test.insert(all.test.end(), d.test.begin(), d.test.end());
+    all.small += d.small;
+    all.medium += d.medium;
+    all.large += d.large;
+    all.xlarge += d.xlarge;
+  }
+  // Interleave domains within the pool so every prefix is multi-domain.
+  Rng rng(97);
+  for (size_t i = all.train_pool.size(); i > 1; --i) {
+    std::swap(all.train_pool[i - 1], all.train_pool[rng.NextUint64(i)]);
+  }
+  return all;
+}
+
+TwoTableDataset GenerateTwoTable(const SyntheticSpec& spec, int table_a_size,
+                                 int table_b_size) {
+  HG_CHECK_LE(table_a_size, table_b_size);
+  Rng rng(spec.seed);
+  // Guarantee at least table_b_size catalog entities: families have at
+  // least 2 members, so table_b_size / 2 + 2 families always suffice.
+  const int num_families = std::max(4, table_b_size / 2 + 2);
+  Catalog catalog =
+      MakeCatalog(spec.domain, num_families, 2, 4, spec.desc_len, rng);
+  HG_CHECK_GE(static_cast<int>(catalog.entities.size()), table_b_size);
+  const std::vector<std::string> schema =
+      SchemaFor(spec.num_attributes, spec.domain);
+
+  TwoTableDataset out;
+  out.name = spec.name;
+  // Table B: one view of the first table_b_size catalog entities.
+  for (int i = 0; i < table_b_size; ++i) {
+    out.table_b.push_back(Render(catalog.entities[static_cast<size_t>(i)],
+                                 catalog, schema, /*style=*/1, spec.noise,
+                                 rng));
+  }
+  // Table A: queries over a random subset of those entities, so every
+  // query has exactly one gold match in B and its siblings as hard
+  // distractors.
+  std::vector<int> candidates(static_cast<size_t>(table_b_size));
+  for (int i = 0; i < table_b_size; ++i) candidates[static_cast<size_t>(i)] = i;
+  for (size_t i = candidates.size(); i > 1; --i) {
+    std::swap(candidates[i - 1], candidates[rng.NextUint64(i)]);
+  }
+  for (int i = 0; i < table_a_size; ++i) {
+    const int entity_id = candidates[static_cast<size_t>(i)];
+    out.table_a.push_back(
+        Render(catalog.entities[static_cast<size_t>(entity_id)], catalog,
+               schema, /*style=*/0, spec.noise, rng));
+    out.matches.emplace_back(i, entity_id);
+  }
+  return out;
+}
+
+MultiSourceDataset GenerateMultiSource(const std::string& name,
+                                       int num_sources, int num_products,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  Catalog catalog =
+      MakeCatalog("product", std::max(4, num_products / 3 + 1), 2, 4, 12, rng);
+  MultiSourceDataset out;
+  out.name = name;
+  out.num_sources = num_sources;
+  const std::vector<std::string> schema = SchemaFor(4, "product");
+  int cluster = 0;
+  for (const TrueEntity& e : catalog.entities) {
+    if (cluster >= num_products) break;
+    // Every product is listed by 2-4 distinct sources.
+    const int listings = static_cast<int>(rng.NextInt(2, 4));
+    int source = static_cast<int>(rng.NextUint64(
+        static_cast<uint64_t>(num_sources)));
+    for (int l = 0; l < listings; ++l) {
+      out.entities.push_back(
+          Render(e, catalog, schema, /*style=*/source, 0.08f, rng));
+      out.cluster_ids.push_back(cluster);
+      out.source_ids.push_back(source);
+      source = (source + 1 +
+                static_cast<int>(rng.NextUint64(
+                    static_cast<uint64_t>(num_sources - 1)))) %
+               num_sources;
+    }
+    ++cluster;
+  }
+  return out;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,100 @@
+#ifndef HIERGAT_DATA_SYNTHETIC_H_
+#define HIERGAT_DATA_SYNTHETIC_H_
+
+#include <string>
+#include <vector>
+
+#include "data/entity.h"
+
+namespace hiergat {
+
+/// Parameters of one synthetic ER benchmark (stands in for a
+/// Magellan/DeepMatcher dataset; see DESIGN.md §2 for why the
+/// substitution preserves the paper's phenomena).
+///
+/// The generator creates a catalog of *true entities* grouped into
+/// families (same brand/line/shared descriptors, different
+/// discriminative model token). A labeled pair is two noisy *views* of
+/// catalog entities: positives view the same entity from two "sources",
+/// hard negatives view two siblings of one family (they share most
+/// tokens and differ in the discriminative ones — the Figure 1
+/// phenomenon), easy negatives view unrelated entities.
+struct SyntheticSpec {
+  std::string name;
+  std::string domain = "product";
+  int num_pairs = 1000;
+  float positive_ratio = 0.15f;
+  int num_attributes = 4;
+  /// Fraction of negatives drawn from the same family (hard negatives).
+  float hardness = 0.7f;
+  /// Per-token probability of view noise (typo / drop / reorder).
+  float noise = 0.08f;
+  /// Average token length of the description attribute.
+  int desc_len = 12;
+  /// Apply the DeepMatcher "dirty" corruption: randomly inject attribute
+  /// values into other attributes (the original slot becomes NAN).
+  bool dirty = false;
+  uint64_t seed = 7;
+};
+
+/// Generates a pairwise ER dataset with a 3:1:1 train/valid/test split.
+PairDataset GeneratePairDataset(const SyntheticSpec& spec);
+
+/// Applies the dirty corruption to an already generated dataset (used to
+/// build the dirty variants of Table 4 from the same underlying pairs).
+PairDataset MakeDirty(const PairDataset& clean, uint64_t seed);
+
+/// The 9 Magellan-like benchmark specs of Table 1, with sizes multiplied
+/// by `scale` (floor 60 pairs). Names and #attributes mirror the paper;
+/// hardness/noise per dataset are tuned so the *relative* difficulty
+/// (F-Z easy ... A-G hard) matches the paper's F1 landscape.
+std::vector<SyntheticSpec> MagellanSpecs(double scale);
+
+/// Subset of MagellanSpecs that have dirty variants in the paper
+/// (iTunes-Amazon, DBLP-ACM, DBLP-Scholar, Walmart-Amazon).
+std::vector<SyntheticSpec> DirtyMagellanSpecs(double scale);
+
+/// WDC-like product-matching data (Table 2 / Figure 10): title-only
+/// entities, one fixed test set per domain, and a nested family of
+/// training sets (small ⊂ medium ⊂ large ⊂ xlarge).
+struct WdcDataset {
+  std::string domain;
+  /// The xlarge training pool; smaller sizes are prefixes of it.
+  std::vector<EntityPair> train_pool;
+  std::vector<EntityPair> test;
+  int small = 0, medium = 0, large = 0, xlarge = 0;
+
+  /// Training prefix for a size tier name ("small".."xlarge").
+  std::vector<EntityPair> TrainSlice(const std::string& tier) const;
+};
+
+/// Generates one WDC-like domain ("computer", "camera", "watch", "shoe").
+WdcDataset GenerateWdc(const std::string& domain, int xlarge_size,
+                       int test_size, uint64_t seed);
+
+/// Pools several WDC domains into the multi-domain "all" dataset.
+WdcDataset PoolWdc(const std::vector<WdcDataset>& domains);
+
+/// Generates the raw two-table form of a benchmark (Table 5): table A
+/// holds query entities, table B holds one view of every catalog entity
+/// plus extra distractors. Gold matches map A rows to B rows.
+TwoTableDataset GenerateTwoTable(const SyntheticSpec& spec, int table_a_size,
+                                 int table_b_size);
+
+/// A DI2KG-like multi-source corpus: every product appears in several
+/// source tables with per-source formatting styles (Table 6).
+struct MultiSourceDataset {
+  std::string name;
+  std::vector<Entity> entities;
+  std::vector<int> cluster_ids;  ///< Same cluster = same real product.
+  std::vector<int> source_ids;
+  int num_sources = 0;
+};
+
+MultiSourceDataset GenerateMultiSource(const std::string& name,
+                                       int num_sources, int num_products,
+                                       uint64_t seed);
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_DATA_SYNTHETIC_H_

@@ -1,0 +1,44 @@
+#include "er/aggregation.h"
+
+#include "core/logging.h"
+#include "tensor/ops.h"
+
+namespace hiergat {
+
+HierarchicalAggregator::HierarchicalAggregator(const MiniLm* lm,
+                                               float dropout, Rng& rng)
+    : lm_(lm), dropout_(dropout) {
+  (void)rng;  // No private parameters: the summarizer is the (fine-tuned) LM.
+}
+
+Tensor HierarchicalAggregator::SummarizeAttribute(
+    const Tensor& wpc, const std::vector<int>& token_seq, bool training,
+    Rng& rng) const {
+  Tensor cls = lm_->Embed({Vocabulary::kCls});  // [1, F]
+  Tensor seq = token_seq.empty()
+                   ? cls
+                   : ConcatRows({cls, GatherRows(wpc, token_seq)});
+  seq = Dropout(seq, dropout_, rng, training);
+  Tensor encoded = lm_->EncodeEmbedded(seq, training, rng);
+  // [CLS] attention over the tokens, for visualization.
+  const Tensor& attn = lm_->last_attention();  // [L, L]
+  last_token_attention_.clear();
+  for (int j = 1; j < attn.dim(1); ++j) {
+    last_token_attention_.push_back(attn.at(0, j));
+  }
+  return SliceRows(encoded, 0, 1);
+}
+
+Tensor HierarchicalAggregator::SummarizeEntity(
+    const std::vector<Tensor>& attribute_embeddings) const {
+  HG_CHECK(!attribute_embeddings.empty());
+  return ConcatCols(attribute_embeddings);
+}
+
+std::vector<Tensor> HierarchicalAggregator::Parameters() const {
+  // The summarization transformer *is* the LM encoder; its parameters
+  // are owned (and reported) by the backbone to avoid duplication.
+  return {};
+}
+
+}  // namespace hiergat

@@ -1,0 +1,48 @@
+#ifndef HIERGAT_ER_AGGREGATION_H_
+#define HIERGAT_ER_AGGREGATION_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/hhg.h"
+#include "text/mini_lm.h"
+
+namespace hiergat {
+
+/// Hierarchical aggregation (§5.1, Algorithm 1): attribute summarization
+/// with the LM's self-attention and entity summarization by
+/// concatenation.
+class HierarchicalAggregator : public Module {
+ public:
+  HierarchicalAggregator(const MiniLm* lm, float dropout, Rng& rng);
+
+  /// Attribute summarization (§5.1.1): encodes [CLS] token_1 ... token_n
+  /// (rows taken from the WpC matrix) and returns the [CLS] output row
+  /// as the attribute embedding [1, F]. Also records how much [CLS]
+  /// attends to each token (Figure 9 visualization).
+  Tensor SummarizeAttribute(const Tensor& wpc,
+                            const std::vector<int>& token_seq, bool training,
+                            Rng& rng) const;
+
+  /// Entity summarization (§5.1.2): concatenates the entity's attribute
+  /// embeddings -> [1, K * F].
+  Tensor SummarizeEntity(
+      const std::vector<Tensor>& attribute_embeddings) const;
+
+  /// [CLS]-to-token attention weights of the last SummarizeAttribute
+  /// call (length = token_seq size).
+  const std::vector<float>& last_token_attention() const {
+    return last_token_attention_;
+  }
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  const MiniLm* lm_;
+  float dropout_;
+  mutable std::vector<float> last_token_attention_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_AGGREGATION_H_

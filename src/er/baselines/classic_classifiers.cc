@@ -1,0 +1,226 @@
+#include "er/baselines/classic_classifiers.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace hiergat {
+
+DecisionTree::DecisionTree(int max_depth, int min_leaf, uint64_t seed)
+    : max_depth_(max_depth), min_leaf_(min_leaf), rng_(seed) {}
+
+namespace {
+
+float Gini(int pos, int total) {
+  if (total == 0) return 0.0f;
+  const float p = static_cast<float>(pos) / static_cast<float>(total);
+  return 2.0f * p * (1.0f - p);
+}
+
+}  // namespace
+
+int DecisionTree::BuildNode(const std::vector<std::vector<float>>& x,
+                            const std::vector<int>& y,
+                            std::vector<int>& indices, int depth) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  int pos = 0;
+  for (int i : indices) pos += y[static_cast<size_t>(i)];
+  nodes_[static_cast<size_t>(node_id)].positive_rate =
+      indices.empty()
+          ? 0.0f
+          : static_cast<float>(pos) / static_cast<float>(indices.size());
+  if (depth >= max_depth_ || static_cast<int>(indices.size()) < 2 * min_leaf_ ||
+      pos == 0 || pos == static_cast<int>(indices.size())) {
+    return node_id;  // Leaf.
+  }
+
+  const int num_features = static_cast<int>(x[0].size());
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  float best_impurity = Gini(pos, static_cast<int>(indices.size()));
+  // Candidate features (optionally subsampled for forests).
+  for (int f = 0; f < num_features; ++f) {
+    if (feature_fraction_ < 1.0f && !rng_.NextBool(feature_fraction_)) {
+      continue;
+    }
+    // Sort indices by feature value; scan split points.
+    std::vector<std::pair<float, int>> values;
+    values.reserve(indices.size());
+    for (int i : indices) {
+      values.emplace_back(x[static_cast<size_t>(i)][static_cast<size_t>(f)],
+                          y[static_cast<size_t>(i)]);
+    }
+    std::sort(values.begin(), values.end());
+    int left_pos = 0;
+    for (size_t s = 1; s < values.size(); ++s) {
+      left_pos += values[s - 1].second;
+      if (values[s].first == values[s - 1].first) continue;
+      const int left_n = static_cast<int>(s);
+      const int right_n = static_cast<int>(values.size() - s);
+      if (left_n < min_leaf_ || right_n < min_leaf_) continue;
+      const float impurity =
+          (static_cast<float>(left_n) * Gini(left_pos, left_n) +
+           static_cast<float>(right_n) * Gini(pos - left_pos, right_n)) /
+          static_cast<float>(values.size());
+      if (impurity + 1e-7f < best_impurity) {
+        best_impurity = impurity;
+        best_feature = f;
+        best_threshold = 0.5f * (values[s].first + values[s - 1].first);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;  // No useful split.
+
+  std::vector<int> left_idx, right_idx;
+  for (int i : indices) {
+    if (x[static_cast<size_t>(i)][static_cast<size_t>(best_feature)] <
+        best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  indices.clear();
+  indices.shrink_to_fit();
+  const int left = BuildNode(x, y, left_idx, depth + 1);
+  const int right = BuildNode(x, y, right_idx, depth + 1);
+  nodes_[static_cast<size_t>(node_id)].feature = best_feature;
+  nodes_[static_cast<size_t>(node_id)].threshold = best_threshold;
+  nodes_[static_cast<size_t>(node_id)].left = left;
+  nodes_[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+void DecisionTree::Fit(const std::vector<std::vector<float>>& x,
+                       const std::vector<int>& y) {
+  HG_CHECK(!x.empty());
+  HG_CHECK_EQ(x.size(), y.size());
+  nodes_.clear();
+  std::vector<int> indices(x.size());
+  for (size_t i = 0; i < x.size(); ++i) indices[i] = static_cast<int>(i);
+  BuildNode(x, y, indices, 0);
+}
+
+float DecisionTree::PredictProbability(const std::vector<float>& row) const {
+  HG_CHECK(!nodes_.empty()) << "Fit before Predict";
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    node = row[static_cast<size_t>(n.feature)] < n.threshold ? n.left
+                                                             : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].positive_rate;
+}
+
+RandomForest::RandomForest(int num_trees, int max_depth, uint64_t seed)
+    : num_trees_(num_trees), max_depth_(max_depth), rng_(seed) {}
+
+void RandomForest::Fit(const std::vector<std::vector<float>>& x,
+                       const std::vector<int>& y) {
+  trees_.clear();
+  for (int t = 0; t < num_trees_; ++t) {
+    // Bootstrap sample.
+    std::vector<std::vector<float>> bx;
+    std::vector<int> by;
+    bx.reserve(x.size());
+    by.reserve(y.size());
+    for (size_t i = 0; i < x.size(); ++i) {
+      const size_t j = rng_.NextUint64(x.size());
+      bx.push_back(x[j]);
+      by.push_back(y[j]);
+    }
+    auto tree = std::make_unique<DecisionTree>(max_depth_, 2,
+                                               rng_.NextUint64());
+    tree->set_feature_fraction(0.6f);
+    tree->Fit(bx, by);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+float RandomForest::PredictProbability(const std::vector<float>& row) const {
+  HG_CHECK(!trees_.empty()) << "Fit before Predict";
+  float sum = 0.0f;
+  for (const auto& tree : trees_) sum += tree->PredictProbability(row);
+  return sum / static_cast<float>(trees_.size());
+}
+
+LinearModel::LinearModel(Loss loss, float lr, int epochs, float l2,
+                         uint64_t seed)
+    : loss_(loss), lr_(lr), epochs_(epochs), l2_(l2), rng_(seed) {}
+
+std::string LinearModel::name() const {
+  switch (loss_) {
+    case Loss::kLogistic:
+      return "logistic-regression";
+    case Loss::kHinge:
+      return "linear-svm";
+    case Loss::kSquared:
+      return "linear-regression";
+  }
+  return "linear";
+}
+
+float LinearModel::Raw(const std::vector<float>& row) const {
+  float z = bias_;
+  const size_t n = std::min(row.size(), weights_.size());
+  for (size_t i = 0; i < n; ++i) z += weights_[i] * row[i];
+  return z;
+}
+
+void LinearModel::Fit(const std::vector<std::vector<float>>& x,
+                      const std::vector<int>& y) {
+  HG_CHECK(!x.empty());
+  weights_.assign(x[0].size(), 0.0f);
+  bias_ = 0.0f;
+  std::vector<int> order(x.size());
+  for (size_t i = 0; i < x.size(); ++i) order[i] = static_cast<int>(i);
+  for (int epoch = 0; epoch < epochs_; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng_.NextUint64(i)]);
+    }
+    const float lr = lr_ / (1.0f + 0.05f * static_cast<float>(epoch));
+    for (int idx : order) {
+      const std::vector<float>& row = x[static_cast<size_t>(idx)];
+      const int label = y[static_cast<size_t>(idx)];
+      const float z = Raw(row);
+      float grad = 0.0f;  // d loss / d z
+      switch (loss_) {
+        case Loss::kLogistic: {
+          const float p = 1.0f / (1.0f + std::exp(-z));
+          grad = p - static_cast<float>(label);
+          break;
+        }
+        case Loss::kHinge: {
+          const float margin_label = label == 1 ? 1.0f : -1.0f;
+          grad = margin_label * z < 1.0f ? -margin_label : 0.0f;
+          break;
+        }
+        case Loss::kSquared:
+          grad = 2.0f * (z - static_cast<float>(label));
+          break;
+      }
+      for (size_t f = 0; f < weights_.size(); ++f) {
+        weights_[f] -= lr * (grad * row[f] + l2_ * weights_[f]);
+      }
+      bias_ -= lr * grad;
+    }
+  }
+}
+
+float LinearModel::PredictProbability(const std::vector<float>& row) const {
+  const float z = Raw(row);
+  switch (loss_) {
+    case Loss::kLogistic:
+      return 1.0f / (1.0f + std::exp(-z));
+    case Loss::kHinge:
+      // Map the margin through a sigmoid for a probability-like score.
+      return 1.0f / (1.0f + std::exp(-2.0f * z));
+    case Loss::kSquared:
+      return std::clamp(z, 0.0f, 1.0f);
+  }
+  return 0.0f;
+}
+
+}  // namespace hiergat

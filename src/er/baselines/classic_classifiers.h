@@ -1,0 +1,100 @@
+#ifndef HIERGAT_ER_BASELINES_CLASSIC_CLASSIFIERS_H_
+#define HIERGAT_ER_BASELINES_CLASSIC_CLASSIFIERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace hiergat {
+
+/// Interface for the classic feature-vector classifiers Magellan trains
+/// (decision tree, random forest, SVM, linear regression, logistic
+/// regression — §6.1).
+class ClassicClassifier {
+ public:
+  virtual ~ClassicClassifier() = default;
+  virtual std::string name() const = 0;
+  /// Fits on rows `x` (all the same width) with 0/1 labels `y`.
+  virtual void Fit(const std::vector<std::vector<float>>& x,
+                   const std::vector<int>& y) = 0;
+  /// P(label == 1) for one feature row.
+  virtual float PredictProbability(const std::vector<float>& row) const = 0;
+};
+
+/// CART decision tree with Gini impurity.
+class DecisionTree : public ClassicClassifier {
+ public:
+  explicit DecisionTree(int max_depth = 8, int min_leaf = 2,
+                        uint64_t seed = 1);
+  std::string name() const override { return "decision-tree"; }
+  void Fit(const std::vector<std::vector<float>>& x,
+           const std::vector<int>& y) override;
+  float PredictProbability(const std::vector<float>& row) const override;
+
+  /// Optional per-tree feature subsampling (used by RandomForest).
+  void set_feature_fraction(float fraction) { feature_fraction_ = fraction; }
+
+ private:
+  struct Node {
+    int feature = -1;      // -1 = leaf.
+    float threshold = 0.0f;
+    int left = -1, right = -1;
+    float positive_rate = 0.0f;
+  };
+  int BuildNode(const std::vector<std::vector<float>>& x,
+                const std::vector<int>& y, std::vector<int>& indices,
+                int depth);
+
+  int max_depth_;
+  int min_leaf_;
+  float feature_fraction_ = 1.0f;
+  Rng rng_;
+  std::vector<Node> nodes_;
+};
+
+/// Bagged ensemble of decision trees with feature subsampling.
+class RandomForest : public ClassicClassifier {
+ public:
+  explicit RandomForest(int num_trees = 15, int max_depth = 8,
+                        uint64_t seed = 2);
+  std::string name() const override { return "random-forest"; }
+  void Fit(const std::vector<std::vector<float>>& x,
+           const std::vector<int>& y) override;
+  float PredictProbability(const std::vector<float>& row) const override;
+
+ private:
+  int num_trees_;
+  int max_depth_;
+  Rng rng_;
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+/// Linear model trained by SGD; the loss selects the variant.
+class LinearModel : public ClassicClassifier {
+ public:
+  enum class Loss { kLogistic, kHinge, kSquared };
+
+  LinearModel(Loss loss, float lr = 0.1f, int epochs = 60, float l2 = 1e-4f,
+              uint64_t seed = 3);
+  std::string name() const override;
+  void Fit(const std::vector<std::vector<float>>& x,
+           const std::vector<int>& y) override;
+  float PredictProbability(const std::vector<float>& row) const override;
+
+ private:
+  float Raw(const std::vector<float>& row) const;
+
+  Loss loss_;
+  float lr_;
+  int epochs_;
+  float l2_;
+  Rng rng_;
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_BASELINES_CLASSIC_CLASSIFIERS_H_

@@ -1,0 +1,119 @@
+#include "er/baselines/deepmatcher.h"
+
+#include "core/logging.h"
+#include "er/lm_backbone.h"
+#include "tensor/ops.h"
+#include "text/hashed_embeddings.h"
+#include "text/tokenizer.h"
+
+namespace hiergat {
+
+DeepMatcherModel::DeepMatcherModel(const DeepMatcherConfig& config)
+    : config_(config) {}
+
+DeepMatcherModel::~DeepMatcherModel() = default;
+
+void DeepMatcherModel::Build(const PairDataset& data) {
+  const EntityPair& proto =
+      data.train.empty() ? data.test.front() : data.train.front();
+  num_attributes_ = proto.left.num_attributes();
+
+  vocab_ = BuildVocabulary({&data.train, &data.valid, &data.test});
+  Rng rng(config_.seed);
+  embeddings_ = std::make_unique<Embedding>(vocab_->size(),
+                                            config_.embedding_dim, rng, 0.02f);
+  const HashedEmbeddings hashed(config_.embedding_dim, 3, 5, config_.seed);
+  for (int id = Vocabulary::kNumSpecial; id < vocab_->size(); ++id) {
+    embeddings_->SetRow(id, hashed.WordVector(vocab_->Token(id)));
+  }
+  encoder_ =
+      std::make_unique<BiGru>(config_.embedding_dim, config_.hidden_dim, rng);
+  const int pair_feature_dim = num_attributes_ * 4 * config_.hidden_dim;
+  highway_ = std::make_unique<Highway>(pair_feature_dim, rng);
+  classifier_ = std::make_unique<Mlp>(
+      std::vector<int>{pair_feature_dim, config_.classifier_hidden, 2}, rng);
+  built_ = true;
+}
+
+void DeepMatcherModel::Train(const PairDataset& data,
+                             const TrainOptions& options) {
+  Build(data);
+  NeuralPairwiseModel::Train(data, options);
+}
+
+Tensor DeepMatcherModel::EncodeAttribute(const std::string& value,
+                                         bool training) {
+  std::vector<int> ids = vocab_->Encode(Tokenize(value));
+  if (ids.empty()) ids.push_back(Vocabulary::kPad);
+  Tensor embedded = embeddings_->Forward(ids);
+  embedded = Dropout(embedded, config_.dropout, rng(), training);
+  Tensor states = encoder_->Forward(embedded);  // [L, 2H]
+  return MeanRows(states);
+}
+
+Tensor DeepMatcherModel::ForwardLogits(const EntityPair& pair,
+                                       bool training) {
+  HG_CHECK(built_) << "Train before inference";
+  std::vector<Tensor> comparisons;
+  comparisons.reserve(static_cast<size_t>(num_attributes_));
+  for (int a = 0; a < num_attributes_; ++a) {
+    Tensor left = EncodeAttribute(pair.left.attribute(a).second, training);
+    Tensor right = EncodeAttribute(pair.right.attribute(a).second, training);
+    Tensor diff = Sub(left, right);
+    // |l - r| as relu(d) + relu(-d), keeping the width at 2H.
+    Tensor abs_diff = Add(Relu(diff), Relu(Neg(diff)));
+    Tensor prod = Mul(left, right);
+    comparisons.push_back(ConcatCols({abs_diff, prod}));  // [1, 4H]
+  }
+  Tensor features = ConcatCols(comparisons);
+  features = highway_->Forward(features);
+  return classifier_->Forward(features);
+}
+
+std::vector<Tensor> DeepMatcherModel::TrainableParameters() const {
+  std::vector<Tensor> params;
+  AppendParameters(&params, embeddings_->Parameters());
+  AppendParameters(&params, encoder_->Parameters());
+  AppendParameters(&params, highway_->Parameters());
+  AppendParameters(&params, classifier_->Parameters());
+  return params;
+}
+
+DmPlusModel::DmPlusModel(const DeepMatcherConfig& config)
+    : DeepMatcherModel(config) {}
+
+Tensor DmPlusModel::CompareAligned(const std::string& left,
+                                   const std::string& right, bool training) {
+  std::vector<int> lids = vocab_->Encode(Tokenize(left));
+  std::vector<int> rids = vocab_->Encode(Tokenize(right));
+  if (lids.empty()) lids.push_back(Vocabulary::kPad);
+  if (rids.empty()) rids.push_back(Vocabulary::kPad);
+  Tensor lx = Dropout(embeddings_->Forward(lids), config_.dropout, rng(),
+                      training);
+  Tensor rx = Dropout(embeddings_->Forward(rids), config_.dropout, rng(),
+                      training);
+  Tensor lh = encoder_->Forward(lx);  // [L1, 2H]
+  Tensor rh = encoder_->Forward(rx);  // [L2, 2H]
+  // Token-level alignment: each left state attends over right states.
+  Tensor attention = Softmax(MatMul(lh, Transpose(rh)));  // [L1, L2]
+  Tensor aligned = MatMul(attention, rh);                 // [L1, 2H]
+  Tensor diff = Sub(lh, aligned);
+  Tensor comparison = ConcatCols({Mul(diff, diff), Mul(lh, aligned)});
+  return MeanRows(comparison);  // [1, 4H]
+}
+
+Tensor DmPlusModel::ForwardLogits(const EntityPair& pair, bool training) {
+  HG_CHECK(built_) << "Train before inference";
+  std::vector<Tensor> comparisons;
+  comparisons.reserve(static_cast<size_t>(num_attributes_));
+  for (int a = 0; a < num_attributes_; ++a) {
+    comparisons.push_back(CompareAligned(pair.left.attribute(a).second,
+                                         pair.right.attribute(a).second,
+                                         training));
+  }
+  Tensor features = ConcatCols(comparisons);
+  features = highway_->Forward(features);
+  return classifier_->Forward(features);
+}
+
+}  // namespace hiergat

@@ -1,0 +1,81 @@
+#ifndef HIERGAT_ER_BASELINES_DEEPMATCHER_H_
+#define HIERGAT_ER_BASELINES_DEEPMATCHER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "er/trainer.h"
+#include "nn/embedding.h"
+#include "nn/gru.h"
+#include "nn/mlp.h"
+#include "text/vocab.h"
+
+namespace hiergat {
+
+/// Configuration for the DeepMatcher baseline.
+struct DeepMatcherConfig {
+  int embedding_dim = 32;  ///< FastText-style word vectors (hashed init).
+  int hidden_dim = 24;     ///< GRU hidden width per direction.
+  int classifier_hidden = 48;
+  float dropout = 0.1f;
+  uint64_t seed = 42;
+};
+
+/// DeepMatcher (Mudgal et al. 2018): the RNN state of the art the paper
+/// compares against. FastText word embeddings -> per-attribute BiGRU
+/// summarization -> attribute comparison (|l-r|, l*r) -> Highway +
+/// softmax classifier. Attribute structure is preserved (each attribute
+/// is encoded separately), but there is no attention over tokens — the
+/// weakness §1 illustrates.
+class DeepMatcherModel : public NeuralPairwiseModel {
+ public:
+  explicit DeepMatcherModel(
+      const DeepMatcherConfig& config = DeepMatcherConfig());
+  ~DeepMatcherModel() override;
+
+  std::string name() const override { return "DeepMatcher"; }
+  void Train(const PairDataset& data, const TrainOptions& options) override;
+
+ protected:
+  Tensor ForwardLogits(const EntityPair& pair, bool training) override;
+  std::vector<Tensor> TrainableParameters() const override;
+
+  /// BiGRU summary [1, 2H] of one attribute value.
+  Tensor EncodeAttribute(const std::string& value, bool training);
+
+  DeepMatcherConfig config_;
+  std::unique_ptr<Vocabulary> vocab_;
+  std::unique_ptr<Embedding> embeddings_;
+  std::unique_ptr<BiGru> encoder_;
+  std::unique_ptr<Highway> highway_;
+  std::unique_ptr<Mlp> classifier_;
+  int num_attributes_ = 0;
+  bool built_ = false;
+
+ private:
+  void Build(const PairDataset& data);
+};
+
+/// DM+ (HierMatcher-style, Fu et al. 2020): DeepMatcher plus token-level
+/// cross-entity alignment — every left token attends over the right
+/// token states and is compared against its aligned vector, restoring
+/// robustness to word-order and attribute heterogeneity.
+class DmPlusModel : public DeepMatcherModel {
+ public:
+  explicit DmPlusModel(const DeepMatcherConfig& config = DeepMatcherConfig());
+
+  std::string name() const override { return "DM+"; }
+
+ protected:
+  Tensor ForwardLogits(const EntityPair& pair, bool training) override;
+
+ private:
+  /// Aligned comparison of one attribute pair -> [1, 4H].
+  Tensor CompareAligned(const std::string& left, const std::string& right,
+                        bool training);
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_BASELINES_DEEPMATCHER_H_

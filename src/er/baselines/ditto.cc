@@ -1,0 +1,97 @@
+#include "er/baselines/ditto.h"
+
+#include "core/logging.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace hiergat {
+
+DittoModel::DittoModel(const DittoConfig& config) : config_(config) {}
+
+DittoModel::~DittoModel() = default;
+
+void DittoModel::Build(const PairDataset& data) {
+  backbone_ = MakeBackbone(data, config_.lm_size, config_.lm_pretrain_steps,
+                           config_.seed);
+  Rng rng(config_.seed ^ 0x777u);
+  classifier_ = std::make_unique<Linear>(backbone_.lm->dim(), 2, rng);
+  if (config_.lm_pretrain_steps > 0) {
+    // Warm-start from the pre-trained pair head: the same/different
+    // classifier learned during sentence-pair pre-training is already a
+    // matcher; fine-tuning only adapts it to the dataset.
+    const Linear& pair_head = backbone_.lm->pair_head();
+    Tensor weight = classifier_->weight();  // Shared handle.
+    weight.data() = pair_head.weight().data();
+    Tensor bias = classifier_->bias();
+    bias.data() = pair_head.bias().data();
+  }
+  built_ = true;
+}
+
+void DittoModel::Train(const PairDataset& data, const TrainOptions& options) {
+  Build(data);
+  NeuralPairwiseModel::Train(data, options);
+}
+
+std::vector<int> DittoModel::SerializePair(const EntityPair& pair) const {
+  const Vocabulary& vocab = *backbone_.vocab;
+  std::vector<int> ids = {Vocabulary::kCls};
+  auto append_entity = [&](const Entity& entity) {
+    for (const auto& [key, value] : entity.attributes()) {
+      for (const std::string& t : Tokenize(key)) ids.push_back(vocab.Id(t));
+      for (const std::string& t : Tokenize(value)) ids.push_back(vocab.Id(t));
+    }
+    ids.push_back(Vocabulary::kSep);
+  };
+  append_entity(pair.left);
+  append_entity(pair.right);
+  if (static_cast<int>(ids.size()) > config_.max_sequence_length) {
+    ids.resize(static_cast<size_t>(config_.max_sequence_length));
+    ids.back() = Vocabulary::kSep;
+  }
+  return ids;
+}
+
+Tensor DittoModel::ForwardLogits(const EntityPair& pair, bool training) {
+  HG_CHECK(built_) << "Train before inference";
+  std::vector<int> ids = SerializePair(pair);
+  if (training) {
+    // Token-drop augmentation: every epoch sees a fresh corruption of
+    // each training pair, which keeps the encoder from memorizing
+    // surface patterns of a small training set.
+    std::vector<int> kept;
+    kept.reserve(ids.size());
+    for (int id : ids) {
+      if (id >= Vocabulary::kNumSpecial && rng().NextBool(0.05f)) continue;
+      kept.push_back(id);
+    }
+    ids = std::move(kept);
+  }
+  // Segment 0 up to (and including) the first [SEP], segment 1 after.
+  std::vector<int> segments(ids.size(), 1);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    segments[i] = 0;
+    if (ids[i] == Vocabulary::kSep) break;
+  }
+  Tensor encoded = backbone_.lm->EncodePair(ids, segments, training, rng());
+  Tensor cls = SliceRows(encoded, 0, 1);
+  cls = Dropout(cls, config_.dropout, rng(), training);
+  return classifier_->Forward(cls);
+}
+
+std::vector<Tensor> DittoModel::TrainableParameters() const {
+  std::vector<Tensor> params;
+  AppendParameters(&params, backbone_.lm->Parameters());
+  AppendParameters(&params, classifier_->Parameters());
+  return params;
+}
+
+std::vector<float> DittoModel::ParameterLrMultipliers() const {
+  // The pre-trained token table fine-tunes an order of magnitude slower
+  // than the heads (BERT-style), which curbs per-word memorization.
+  std::vector<float> multipliers(TrainableParameters().size(), 1.0f);
+  multipliers[0] = 0.1f;  // Token table is the LM's first parameter.
+  return multipliers;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,57 @@
+#ifndef HIERGAT_ER_BASELINES_DITTO_H_
+#define HIERGAT_ER_BASELINES_DITTO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "er/lm_backbone.h"
+#include "er/trainer.h"
+#include "nn/linear.h"
+
+namespace hiergat {
+
+/// Configuration for the Ditto baseline.
+struct DittoConfig {
+  LmSize lm_size = LmSize::kMedium;
+  int max_sequence_length = 128;  ///< The paper caps sequences at 512.
+  int lm_pretrain_steps = 150;
+  float dropout = 0.1f;
+  uint64_t seed = 42;
+};
+
+/// Ditto (Li et al. 2020), basic version (§6.1 compares against basic
+/// Ditto since the optimizations need domain knowledge): serialize both
+/// entities into one sequence
+///   [CLS] key1 val1 key2 val2 ... [SEP] key1 val1 ... [SEP]
+/// run the pre-trained LM, and classify from the [CLS] output. Fast and
+/// strong, but the entity *structure* is flattened away — the weakness
+/// HierGAT's hierarchy addresses (§5.1).
+class DittoModel : public NeuralPairwiseModel {
+ public:
+  explicit DittoModel(const DittoConfig& config = DittoConfig());
+  ~DittoModel() override;
+
+  std::string name() const override { return "Ditto"; }
+  void Train(const PairDataset& data, const TrainOptions& options) override;
+
+  /// Token ids of the serialized pair (exposed for tests).
+  std::vector<int> SerializePair(const EntityPair& pair) const;
+
+ protected:
+  Tensor ForwardLogits(const EntityPair& pair, bool training) override;
+  std::vector<Tensor> TrainableParameters() const override;
+  std::vector<float> ParameterLrMultipliers() const override;
+
+ private:
+  void Build(const PairDataset& data);
+
+  DittoConfig config_;
+  LmBackbone backbone_;
+  std::unique_ptr<Linear> classifier_;
+  bool built_ = false;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_BASELINES_DITTO_H_

@@ -1,0 +1,124 @@
+#ifndef HIERGAT_ER_BASELINES_GNN_H_
+#define HIERGAT_ER_BASELINES_GNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "er/graph_attention.h"
+#include "er/trainer.h"
+#include "graph/hhg.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "text/vocab.h"
+
+namespace hiergat {
+
+/// Configuration shared by the graph-embedding baselines of Table 7.
+struct GnnConfig {
+  int embedding_dim = 32;
+  int hidden_dim = 32;
+  int layers = 2;
+  float dropout = 0.1f;
+  uint64_t seed = 42;
+};
+
+/// Base for the collective graph baselines (GCN / GAT / HGAT): token
+/// embeddings over the query+candidates HHG, a subclass-specific
+/// propagation producing entity embeddings, and a shared comparison
+/// head [v_q || v_c || |v_q - v_c| || v_q * v_c] -> MLP.
+class GraphCollectiveModel : public NeuralCollectiveModel {
+ public:
+  explicit GraphCollectiveModel(const GnnConfig& config);
+  ~GraphCollectiveModel() override;
+
+  void Train(const CollectiveDataset& data,
+             const TrainOptions& options) override;
+
+ protected:
+  Tensor ForwardQueryLogits(const CollectiveQuery& query,
+                            bool training) override;
+  std::vector<Tensor> TrainableParameters() const override;
+
+  /// Entity embeddings [M, entity_dim()] from the HHG and the token
+  /// embedding matrix [T, embedding_dim].
+  virtual Tensor EntityEmbeddings(const Hhg& hhg, const Tensor& tokens,
+                                  bool training) = 0;
+  /// Width of the rows EntityEmbeddings returns.
+  virtual int entity_dim() const = 0;
+  /// Subclass parameters beyond the embedding table and head.
+  virtual std::vector<Tensor> PropagationParameters() const = 0;
+
+  GnnConfig config_;
+  std::unique_ptr<Vocabulary> vocab_;
+  std::unique_ptr<Embedding> embeddings_;
+  std::unique_ptr<Mlp> head_;
+  bool built_ = false;
+
+ private:
+  virtual void BuildPropagation(Rng& rng) = 0;
+};
+
+/// GCN baseline: spectral propagation H' = relu(A_norm H W) over the
+/// *homogeneous* view of the HHG (token/attribute/entity nodes all
+/// treated alike) — the paper's point is that undifferentiated
+/// propagation suits HHG poorly (§7).
+class GcnCollectiveModel : public GraphCollectiveModel {
+ public:
+  explicit GcnCollectiveModel(const GnnConfig& config = GnnConfig());
+  std::string name() const override { return "GCN"; }
+
+ protected:
+  Tensor EntityEmbeddings(const Hhg& hhg, const Tensor& tokens,
+                          bool training) override;
+  int entity_dim() const override { return config_.hidden_dim; }
+  std::vector<Tensor> PropagationParameters() const override;
+
+ private:
+  void BuildPropagation(Rng& rng) override;
+  std::vector<std::unique_ptr<Linear>> layer_weights_;
+};
+
+/// GAT baseline: masked dense attention over the same homogeneous graph.
+class GatCollectiveModel : public GraphCollectiveModel {
+ public:
+  explicit GatCollectiveModel(const GnnConfig& config = GnnConfig());
+  std::string name() const override { return "GAT"; }
+
+ protected:
+  Tensor EntityEmbeddings(const Hhg& hhg, const Tensor& tokens,
+                          bool training) override;
+  int entity_dim() const override { return config_.hidden_dim; }
+  std::vector<Tensor> PropagationParameters() const override;
+
+ private:
+  void BuildPropagation(Rng& rng) override;
+  std::vector<std::unique_ptr<Linear>> layer_weights_;
+  std::vector<std::unique_ptr<Linear>> src_scores_;
+  std::vector<std::unique_ptr<Linear>> dst_scores_;
+};
+
+/// HGAT: hierarchical information propagation on the HHG — a first GAT
+/// layer pools tokens into attributes and a second pools attributes
+/// into entities (§6.3). No word order, but layered attention.
+class HgatCollectiveModel : public GraphCollectiveModel {
+ public:
+  explicit HgatCollectiveModel(const GnnConfig& config = GnnConfig());
+  std::string name() const override { return "HGAT"; }
+
+ protected:
+  Tensor EntityEmbeddings(const Hhg& hhg, const Tensor& tokens,
+                          bool training) override;
+  int entity_dim() const override { return config_.embedding_dim; }
+  std::vector<Tensor> PropagationParameters() const override;
+
+ private:
+  void BuildPropagation(Rng& rng) override;
+  std::unique_ptr<GraphAttentionPool> token_pool_;
+  std::unique_ptr<GraphAttentionPool> attribute_pool_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_BASELINES_GNN_H_

@@ -1,0 +1,72 @@
+#include "er/baselines/magellan.h"
+
+#include "core/logging.h"
+#include "er/baselines/similarity_features.h"
+#include "er/metrics.h"
+
+namespace hiergat {
+
+MagellanModel::MagellanModel(uint64_t seed) : seed_(seed) {}
+
+void MagellanModel::Train(const PairDataset& data,
+                          const TrainOptions& options) {
+  HG_CHECK(!data.train.empty());
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  int limit = static_cast<int>(data.train.size());
+  if (options.max_train_items > 0 && options.max_train_items < limit) {
+    limit = options.max_train_items;
+  }
+  x.reserve(static_cast<size_t>(limit));
+  for (int i = 0; i < limit; ++i) {
+    x.push_back(PairFeatures(data.train[static_cast<size_t>(i)]));
+    y.push_back(data.train[static_cast<size_t>(i)].label);
+  }
+
+  classifiers_.clear();
+  classifiers_.push_back(std::make_unique<DecisionTree>(8, 2, seed_));
+  classifiers_.push_back(std::make_unique<RandomForest>(15, 8, seed_ + 1));
+  classifiers_.push_back(std::make_unique<LinearModel>(
+      LinearModel::Loss::kHinge, 0.1f, 60, 1e-4f, seed_ + 2));
+  classifiers_.push_back(std::make_unique<LinearModel>(
+      LinearModel::Loss::kSquared, 0.02f, 60, 1e-4f, seed_ + 3));
+  classifiers_.push_back(std::make_unique<LinearModel>(
+      LinearModel::Loss::kLogistic, 0.1f, 60, 1e-4f, seed_ + 4));
+
+  // Featurize validation pairs once.
+  std::vector<std::vector<float>> vx;
+  std::vector<int> vy;
+  for (const EntityPair& pair : data.valid) {
+    vx.push_back(PairFeatures(pair));
+    vy.push_back(pair.label);
+  }
+
+  float best_f1 = -1.0f;
+  for (auto& classifier : classifiers_) {
+    classifier->Fit(x, y);
+    float f1;
+    if (vx.empty()) {
+      f1 = 0.0f;
+    } else {
+      std::vector<float> probs;
+      probs.reserve(vx.size());
+      for (const auto& row : vx) {
+        probs.push_back(classifier->PredictProbability(row));
+      }
+      f1 = ComputeMetrics(probs, vy).f1;
+    }
+    if (f1 > best_f1) {
+      best_f1 = f1;
+      selected_ = classifier.get();
+      selected_name_ = classifier->name();
+    }
+  }
+  HG_CHECK(selected_ != nullptr);
+}
+
+float MagellanModel::PredictProbability(const EntityPair& pair) {
+  HG_CHECK(selected_ != nullptr) << "Train before Predict";
+  return selected_->PredictProbability(PairFeatures(pair));
+}
+
+}  // namespace hiergat

@@ -1,0 +1,36 @@
+#ifndef HIERGAT_ER_BASELINES_MAGELLAN_H_
+#define HIERGAT_ER_BASELINES_MAGELLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "er/baselines/classic_classifiers.h"
+#include "er/model.h"
+
+namespace hiergat {
+
+/// The Magellan baseline (Konda et al. 2016, §6.1): string-similarity
+/// features + five classic classifiers; the validation split picks the
+/// winner.
+class MagellanModel : public PairwiseModel {
+ public:
+  explicit MagellanModel(uint64_t seed = 17);
+
+  std::string name() const override { return "Magellan"; }
+  void Train(const PairDataset& data, const TrainOptions& options) override;
+  float PredictProbability(const EntityPair& pair) override;
+
+  /// Name of the validation-selected classifier (after Train).
+  const std::string& selected_classifier() const { return selected_name_; }
+
+ private:
+  uint64_t seed_;
+  std::vector<std::unique_ptr<ClassicClassifier>> classifiers_;
+  ClassicClassifier* selected_ = nullptr;
+  std::string selected_name_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_BASELINES_MAGELLAN_H_

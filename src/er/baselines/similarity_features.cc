@@ -1,0 +1,119 @@
+#include "er/baselines/similarity_features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+
+namespace hiergat {
+
+float JaccardSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0f;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  int intersection = 0;
+  for (const std::string& t : sa) intersection += sb.count(t) ? 1 : 0;
+  const int uni = static_cast<int>(sa.size() + sb.size()) - intersection;
+  return uni == 0 ? 0.0f
+                  : static_cast<float>(intersection) / static_cast<float>(uni);
+}
+
+float OverlapCoefficient(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0f;
+  std::unordered_set<std::string> sa(a.begin(), a.end());
+  std::unordered_set<std::string> sb(b.begin(), b.end());
+  int intersection = 0;
+  for (const std::string& t : sa) intersection += sb.count(t) ? 1 : 0;
+  const size_t denom = std::min(sa.size(), sb.size());
+  return denom == 0
+             ? 0.0f
+             : static_cast<float>(intersection) / static_cast<float>(denom);
+}
+
+float TokenCosineSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty() || b.empty()) return 0.0f;
+  std::unordered_map<std::string, int> ca, cb;
+  for (const std::string& t : a) ++ca[t];
+  for (const std::string& t : b) ++cb[t];
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (const auto& [t, c] : ca) {
+    na += static_cast<double>(c) * c;
+    auto it = cb.find(t);
+    if (it != cb.end()) dot += static_cast<double>(c) * it->second;
+  }
+  for (const auto& [t, c] : cb) nb += static_cast<double>(c) * c;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+float LevenshteinSimilarity(const std::string& a_full,
+                            const std::string& b_full) {
+  const std::string a = a_full.substr(0, 64);
+  const std::string b = b_full.substr(0, 64);
+  if (a.empty() && b.empty()) return 1.0f;
+  const size_t n = a.size(), m = b.size();
+  std::vector<int> prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, curr);
+  }
+  const float dist = static_cast<float>(prev[m]);
+  return 1.0f - dist / static_cast<float>(std::max(n, m));
+}
+
+float NumericSimilarity(const std::string& a, const std::string& b) {
+  char* end_a = nullptr;
+  char* end_b = nullptr;
+  const double x = std::strtod(a.c_str(), &end_a);
+  const double y = std::strtod(b.c_str(), &end_b);
+  if (end_a == a.c_str() || *end_a != '\0' || end_b == b.c_str() ||
+      *end_b != '\0') {
+    return 0.0f;
+  }
+  const double mx = std::max(std::fabs(x), std::fabs(y));
+  if (mx == 0.0) return 1.0f;
+  return static_cast<float>(std::max(0.0, 1.0 - std::fabs(x - y) / mx));
+}
+
+std::vector<float> PairFeatures(const EntityPair& pair) {
+  std::vector<float> features;
+  const int k = std::min(pair.left.num_attributes(),
+                         pair.right.num_attributes());
+  features.reserve(static_cast<size_t>(PairFeatureCount(k)));
+  for (int i = 0; i < k; ++i) {
+    const std::string& lv = pair.left.attribute(i).second;
+    const std::string& rv = pair.right.attribute(i).second;
+    const std::vector<std::string> lt = Tokenize(lv);
+    const std::vector<std::string> rt = Tokenize(rv);
+    features.push_back(JaccardSimilarity(lt, rt));
+    features.push_back(OverlapCoefficient(lt, rt));
+    features.push_back(TokenCosineSimilarity(lt, rt));
+    features.push_back(LevenshteinSimilarity(lv, rv));
+    features.push_back(NumericSimilarity(lv, rv));
+    const float ll = static_cast<float>(lt.size());
+    const float rl = static_cast<float>(rt.size());
+    features.push_back(std::max(ll, rl) > 0.0f
+                           ? std::min(ll, rl) / std::max(ll, rl)
+                           : 1.0f);
+  }
+  const std::vector<std::string> la = pair.left.AllValueTokens();
+  const std::vector<std::string> ra = pair.right.AllValueTokens();
+  features.push_back(JaccardSimilarity(la, ra));
+  features.push_back(TokenCosineSimilarity(la, ra));
+  features.push_back(OverlapCoefficient(la, ra));
+  return features;
+}
+
+int PairFeatureCount(int num_attributes) { return 6 * num_attributes + 3; }
+
+}  // namespace hiergat

@@ -1,0 +1,45 @@
+#ifndef HIERGAT_ER_BASELINES_SIMILARITY_FEATURES_H_
+#define HIERGAT_ER_BASELINES_SIMILARITY_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/entity.h"
+
+namespace hiergat {
+
+/// Classic string-similarity measures used to featurize pairs for the
+/// Magellan baseline (Magellan generates features "using a set of
+/// distance functions", §6.1).
+
+/// Jaccard similarity of the token sets.
+float JaccardSimilarity(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+/// Overlap coefficient |A ∩ B| / min(|A|, |B|).
+float OverlapCoefficient(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b);
+
+/// Cosine similarity of token-count vectors.
+float TokenCosineSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b);
+
+/// Normalized Levenshtein similarity: 1 - dist / max(len). Strings are
+/// capped at 64 characters for cost control.
+float LevenshteinSimilarity(const std::string& a, const std::string& b);
+
+/// Relative numeric closeness when both strings parse as numbers
+/// (1 - |x-y| / max(|x|,|y|)); 0 otherwise.
+float NumericSimilarity(const std::string& a, const std::string& b);
+
+/// The fixed-width feature vector of a pair: per aligned attribute
+/// {jaccard, overlap, cosine, levenshtein, numeric, length-ratio}, then
+/// 3 whole-entity features {jaccard, cosine, containment}.
+std::vector<float> PairFeatures(const EntityPair& pair);
+
+/// Width of PairFeatures for a schema with `num_attributes` attributes.
+int PairFeatureCount(int num_attributes);
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_BASELINES_SIMILARITY_FEATURES_H_

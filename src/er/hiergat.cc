@@ -1,0 +1,145 @@
+#include "er/hiergat.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "graph/hhg.h"
+#include "tensor/ops.h"
+
+namespace hiergat {
+
+HierGatModel::HierGatModel(const HierGatConfig& config) : config_(config) {}
+
+HierGatModel::~HierGatModel() = default;
+
+void HierGatModel::Build(const PairDataset& data) {
+  HG_CHECK(!data.train.empty() || !data.test.empty());
+  const EntityPair& proto =
+      data.train.empty() ? data.test.front() : data.train.front();
+  num_attributes_ = proto.left.num_attributes();
+  HG_CHECK_GT(num_attributes_, 0);
+
+  backbone_ = MakeBackbone(data, config_.lm_size, config_.lm_pretrain_steps,
+                           config_.seed);
+  Rng rng(config_.seed ^ 0x1234u);
+  contextual_ = std::make_unique<ContextualEmbedder>(backbone_.lm.get(),
+                                                     config_.context, rng);
+  aggregator_ = std::make_unique<HierarchicalAggregator>(
+      backbone_.lm.get(), config_.dropout, rng);
+  comparator_ = std::make_unique<HierarchicalComparator>(
+      backbone_.lm.get(), num_attributes_, config_.combination, rng);
+  classifier_ = std::make_unique<Mlp>(
+      std::vector<int>{backbone_.lm->dim(), config_.classifier_hidden, 2},
+      rng);
+  built_ = true;
+}
+
+void HierGatModel::Train(const PairDataset& data,
+                         const TrainOptions& options) {
+  Build(data);
+  NeuralPairwiseModel::Train(data, options);
+}
+
+Tensor HierGatModel::ForwardSimilarity(const EntityPair& pair,
+                                       bool training) {
+  const Hhg hhg = Hhg::Build({pair.left, pair.right});
+  const Tensor wpc = contextual_->Compute(hhg, training, rng());
+
+  // Hierarchical aggregation per entity.
+  std::vector<std::vector<Tensor>> attr_embeddings(2);
+  std::vector<Tensor> entity_embeddings(2);
+  for (int e = 0; e < 2; ++e) {
+    for (int attr_id : hhg.entity(e).attributes) {
+      attr_embeddings[static_cast<size_t>(e)].push_back(
+          aggregator_->SummarizeAttribute(
+              wpc, hhg.attribute(attr_id).token_seq, training, rng()));
+    }
+    entity_embeddings[static_cast<size_t>(e)] =
+        aggregator_->SummarizeEntity(attr_embeddings[static_cast<size_t>(e)]);
+  }
+
+  // Hierarchical comparison: one similarity view per aligned attribute.
+  const int k = std::min(static_cast<int>(attr_embeddings[0].size()),
+                         static_cast<int>(attr_embeddings[1].size()));
+  HG_CHECK_EQ(k, num_attributes_)
+      << "pair schema differs from training schema";
+  std::vector<Tensor> similarities;
+  similarities.reserve(static_cast<size_t>(k));
+  for (int a = 0; a < k; ++a) {
+    similarities.push_back(comparator_->CompareAttribute(
+        attr_embeddings[0][static_cast<size_t>(a)],
+        attr_embeddings[1][static_cast<size_t>(a)], training, rng()));
+  }
+  return comparator_->CombineViews(similarities, entity_embeddings[0],
+                                   entity_embeddings[1]);
+}
+
+Tensor HierGatModel::ForwardLogits(const EntityPair& pair, bool training) {
+  HG_CHECK(built_) << "HierGatModel::Train must run before inference";
+  return classifier_->Forward(ForwardSimilarity(pair, training));
+}
+
+std::vector<Tensor> HierGatModel::TrainableParameters() const {
+  std::vector<Tensor> params;
+  AppendParameters(&params, backbone_.lm->Parameters());
+  AppendParameters(&params, contextual_->Parameters());
+  AppendParameters(&params, aggregator_->Parameters());
+  AppendParameters(&params, comparator_->Parameters());
+  AppendParameters(&params, classifier_->Parameters());
+  return params;
+}
+
+std::vector<float> HierGatModel::ParameterLrMultipliers() const {
+  // Slow fine-tuning for the pre-trained token table (see DittoModel).
+  std::vector<float> multipliers(TrainableParameters().size(), 1.0f);
+  multipliers[0] = 0.1f;
+  return multipliers;
+}
+
+HierGatModel::AttentionReport HierGatModel::InspectAttention(
+    const EntityPair& pair) {
+  HG_CHECK(built_);
+  AttentionReport report;
+  const Hhg hhg = Hhg::Build({pair.left, pair.right});
+  const Tensor wpc = contextual_->Compute(hhg, /*training=*/false, rng());
+
+  std::vector<std::vector<Tensor>> attr_embeddings(2);
+  std::vector<Tensor> entity_embeddings(2);
+  for (int e = 0; e < 2; ++e) {
+    auto& side = e == 0 ? report.left : report.right;
+    for (int attr_id : hhg.entity(e).attributes) {
+      const Hhg::AttributeNode& attr = hhg.attribute(attr_id);
+      attr_embeddings[static_cast<size_t>(e)].push_back(
+          aggregator_->SummarizeAttribute(wpc, attr.token_seq,
+                                          /*training=*/false, rng()));
+      AttentionReport::AttributeAttention viz;
+      viz.key = attr.key;
+      for (int t : attr.token_seq) viz.tokens.push_back(hhg.token(t));
+      viz.weights = aggregator_->last_token_attention();
+      viz.weights.resize(viz.tokens.size(), 0.0f);
+      side.push_back(std::move(viz));
+    }
+    entity_embeddings[static_cast<size_t>(e)] =
+        aggregator_->SummarizeEntity(attr_embeddings[static_cast<size_t>(e)]);
+  }
+  std::vector<Tensor> similarities;
+  for (int a = 0; a < num_attributes_; ++a) {
+    similarities.push_back(comparator_->CompareAttribute(
+        attr_embeddings[0][static_cast<size_t>(a)],
+        attr_embeddings[1][static_cast<size_t>(a)], /*training=*/false,
+        rng()));
+  }
+  Tensor similarity = comparator_->CombineViews(
+      similarities, entity_embeddings[0], entity_embeddings[1]);
+  if (comparator_->combination() == ViewCombination::kWeightAverage) {
+    const Tensor& weights = comparator_->last_view_weights();
+    for (int i = 0; i < weights.dim(1); ++i) {
+      report.attribute_weights.push_back(weights.at(0, i));
+    }
+  }
+  Tensor probs = Softmax(classifier_->Forward(similarity));
+  report.match_probability = probs.at(0, 1);
+  return report;
+}
+
+}  // namespace hiergat

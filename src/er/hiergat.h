@@ -1,0 +1,91 @@
+#ifndef HIERGAT_ER_HIERGAT_H_
+#define HIERGAT_ER_HIERGAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "er/aggregation.h"
+#include "er/comparison.h"
+#include "er/contextual.h"
+#include "er/lm_backbone.h"
+#include "er/trainer.h"
+#include "nn/mlp.h"
+
+namespace hiergat {
+
+/// Hyper-parameters of the pairwise HierGAT model (§3-5).
+struct HierGatConfig {
+  LmSize lm_size = LmSize::kMedium;
+  /// Context terms; the pairwise model leaves entity-level context off
+  /// (§6.1: "in the pairwise ER problem, HierGAT does not use the
+  /// entity-level context embedding and entity alignment layer").
+  ContextualConfig context;
+  ViewCombination combination = ViewCombination::kWeightAverage;
+  float dropout = 0.1f;
+  int classifier_hidden = 32;
+  /// Masked-LM steps used to "pre-train" the MiniLM backbone in-domain.
+  int lm_pretrain_steps = 150;
+  uint64_t seed = 42;
+};
+
+/// The pairwise Hierarchical Graph Attention Transformer matcher.
+///
+/// Pipeline per candidate pair (Figure 6): HHG construction ->
+/// contextual (WpC) embeddings -> hierarchical aggregation (attribute +
+/// entity summarization) -> hierarchical comparison (attribute
+/// comparison + multi-view entity comparison) -> binary classifier.
+class HierGatModel : public NeuralPairwiseModel {
+ public:
+  explicit HierGatModel(const HierGatConfig& config = HierGatConfig());
+  ~HierGatModel() override;
+
+  std::string name() const override { return "HierGAT"; }
+
+  /// Builds the LM backbone from the dataset corpus, then fine-tunes the
+  /// whole stack end-to-end.
+  void Train(const PairDataset& data, const TrainOptions& options) override;
+
+  /// Attention introspection for Figure 9: token weights within each
+  /// attribute (from the attribute-summarization [CLS] attention) and
+  /// the attribute weights h_k (Eq. 4).
+  struct AttentionReport {
+    struct AttributeAttention {
+      std::string key;
+      std::vector<std::string> tokens;
+      std::vector<float> weights;
+    };
+    std::vector<AttributeAttention> left;
+    std::vector<AttributeAttention> right;
+    std::vector<float> attribute_weights;  // h_k per attribute pair.
+    float match_probability = 0.0f;
+  };
+  AttentionReport InspectAttention(const EntityPair& pair);
+
+  const HierGatConfig& config() const { return config_; }
+
+ protected:
+  Tensor ForwardLogits(const EntityPair& pair, bool training) override;
+  std::vector<Tensor> TrainableParameters() const override;
+  std::vector<float> ParameterLrMultipliers() const override;
+
+ private:
+  /// Lazily constructs backbone + modules once the schema (K) is known.
+  void Build(const PairDataset& data);
+
+  /// Shared forward: attribute embeddings, entity embeddings, similarity.
+  Tensor ForwardSimilarity(const EntityPair& pair, bool training);
+
+  HierGatConfig config_;
+  LmBackbone backbone_;
+  std::unique_ptr<ContextualEmbedder> contextual_;
+  std::unique_ptr<HierarchicalAggregator> aggregator_;
+  std::unique_ptr<HierarchicalComparator> comparator_;
+  std::unique_ptr<Mlp> classifier_;
+  int num_attributes_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_HIERGAT_H_

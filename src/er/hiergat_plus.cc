@@ -1,0 +1,125 @@
+#include "er/hiergat_plus.h"
+
+#include <algorithm>
+
+#include "core/logging.h"
+#include "graph/hhg.h"
+#include "tensor/ops.h"
+
+namespace hiergat {
+
+HierGatPlusModel::HierGatPlusModel(const HierGatPlusConfig& config)
+    : config_(config) {}
+
+HierGatPlusModel::~HierGatPlusModel() = default;
+
+void HierGatPlusModel::Build(const CollectiveDataset& data) {
+  HG_CHECK(!data.train.empty());
+  num_attributes_ = data.train.front().query.num_attributes();
+  HG_CHECK_GT(num_attributes_, 0);
+
+  backbone_ = MakeBackboneCollective(data, config_.lm_size,
+                                     config_.lm_pretrain_steps, config_.seed);
+  Rng rng(config_.seed ^ 0x9876u);
+  contextual_ = std::make_unique<ContextualEmbedder>(backbone_.lm.get(),
+                                                     config_.context, rng);
+  aggregator_ = std::make_unique<HierarchicalAggregator>(
+      backbone_.lm.get(), config_.dropout, rng);
+  const ViewCombination combination =
+      config_.use_entity_summarization ? config_.combination
+                                       : ViewCombination::kViewAverage;
+  comparator_ = std::make_unique<HierarchicalComparator>(
+      backbone_.lm.get(), num_attributes_, combination, rng);
+  aligner_ = std::make_unique<EntityAligner>(
+      num_attributes_ * backbone_.lm->dim(), rng);
+  classifier_ = std::make_unique<Mlp>(
+      std::vector<int>{backbone_.lm->dim(), config_.classifier_hidden, 2},
+      rng);
+  built_ = true;
+}
+
+void HierGatPlusModel::Train(const CollectiveDataset& data,
+                             const TrainOptions& options) {
+  Build(data);
+  NeuralCollectiveModel::Train(data, options);
+}
+
+Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
+                                            bool training) {
+  HG_CHECK(built_) << "HierGatPlusModel::Train must run before inference";
+  // One HHG for the query and all candidates (Figure 2's relation
+  // network lives inside this shared graph).
+  std::vector<Entity> entities;
+  entities.reserve(query.candidates.size() + 1);
+  entities.push_back(query.query);
+  entities.insert(entities.end(), query.candidates.begin(),
+                  query.candidates.end());
+  const Hhg hhg = Hhg::Build(entities);
+  const Tensor wpc = contextual_->Compute(hhg, training, rng());
+
+  const int m = hhg.num_entities();
+  std::vector<std::vector<Tensor>> attr_embeddings(
+      static_cast<size_t>(m));
+  std::vector<Tensor> entity_rows;
+  entity_rows.reserve(static_cast<size_t>(m));
+  for (int e = 0; e < m; ++e) {
+    for (int attr_id : hhg.entity(e).attributes) {
+      attr_embeddings[static_cast<size_t>(e)].push_back(
+          aggregator_->SummarizeAttribute(
+              wpc, hhg.attribute(attr_id).token_seq, training, rng()));
+    }
+    // Schema sanity: all entities share the dataset's K attributes.
+    HG_CHECK_EQ(static_cast<int>(attr_embeddings[static_cast<size_t>(e)].size()),
+                num_attributes_);
+    entity_rows.push_back(aggregator_->SummarizeEntity(
+        attr_embeddings[static_cast<size_t>(e)]));
+  }
+  Tensor entity_matrix = ConcatRows(entity_rows);  // [M, K*F]
+
+  if (config_.use_alignment) {
+    std::vector<std::vector<int>> related;
+    related.reserve(static_cast<size_t>(m));
+    for (int e = 0; e < m; ++e) related.push_back(hhg.RelatedEntities(e));
+    entity_matrix = aligner_->Align(entity_matrix, related);
+  }
+
+  // Compare the query (entity 0) with every candidate.
+  Tensor query_entity = SliceRows(entity_matrix, 0, 1);
+  std::vector<Tensor> logits_rows;
+  logits_rows.reserve(query.candidates.size());
+  for (int c = 1; c < m; ++c) {
+    std::vector<Tensor> similarities;
+    similarities.reserve(static_cast<size_t>(num_attributes_));
+    for (int a = 0; a < num_attributes_; ++a) {
+      similarities.push_back(comparator_->CompareAttribute(
+          attr_embeddings[0][static_cast<size_t>(a)],
+          attr_embeddings[static_cast<size_t>(c)][static_cast<size_t>(a)],
+          training, rng()));
+    }
+    Tensor candidate_entity = SliceRows(entity_matrix, c, c + 1);
+    Tensor similarity = comparator_->CombineViews(similarities, query_entity,
+                                                  candidate_entity);
+    logits_rows.push_back(classifier_->Forward(similarity));
+  }
+  return ConcatRows(logits_rows);  // [N, 2]
+}
+
+std::vector<Tensor> HierGatPlusModel::TrainableParameters() const {
+  std::vector<Tensor> params;
+  AppendParameters(&params, backbone_.lm->Parameters());
+  AppendParameters(&params, contextual_->Parameters());
+  AppendParameters(&params, aggregator_->Parameters());
+  AppendParameters(&params, comparator_->Parameters());
+  AppendParameters(&params, aligner_->Parameters());
+  AppendParameters(&params, classifier_->Parameters());
+  return params;
+}
+
+std::vector<float> HierGatPlusModel::ParameterLrMultipliers() const {
+  // Slow fine-tuning for the pre-trained token table (see DittoModel).
+  std::vector<float> multipliers(TrainableParameters().size(), 1.0f);
+  multipliers[0] = 0.1f;
+  return multipliers;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,73 @@
+#ifndef HIERGAT_ER_HIERGAT_PLUS_H_
+#define HIERGAT_ER_HIERGAT_PLUS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "er/aggregation.h"
+#include "er/comparison.h"
+#include "er/contextual.h"
+#include "er/hiergat.h"
+#include "er/lm_backbone.h"
+#include "er/trainer.h"
+#include "nn/mlp.h"
+
+namespace hiergat {
+
+/// Hyper-parameters of the collective HierGAT+ model.
+struct HierGatPlusConfig {
+  LmSize lm_size = LmSize::kMedium;
+  ContextualConfig context;  ///< Entity-level context ON by default here.
+  ViewCombination combination = ViewCombination::kWeightAverage;
+  /// Table 11 ablations: Non-Align drops the entity alignment layer;
+  /// Non-Sum drops the entity summarization context (falls back to view
+  /// averaging without the v_lr^e conditioning).
+  bool use_alignment = true;
+  bool use_entity_summarization = true;
+  float dropout = 0.1f;
+  int classifier_hidden = 32;
+  int lm_pretrain_steps = 100;
+  uint64_t seed = 42;
+
+  HierGatPlusConfig() { context.use_entity_context = true; }
+};
+
+/// HierGAT+ — the collective extension (§5.2.3): one HHG holds the
+/// query and all its candidates; entity-level context removes redundant
+/// common-token information; the entity alignment layer (Eq. 5)
+/// sharpens candidate embeddings against each other before comparison.
+class HierGatPlusModel : public NeuralCollectiveModel {
+ public:
+  explicit HierGatPlusModel(
+      const HierGatPlusConfig& config = HierGatPlusConfig());
+  ~HierGatPlusModel() override;
+
+  std::string name() const override { return "HierGAT+"; }
+
+  void Train(const CollectiveDataset& data,
+             const TrainOptions& options) override;
+
+ protected:
+  Tensor ForwardQueryLogits(const CollectiveQuery& query,
+                            bool training) override;
+  std::vector<Tensor> TrainableParameters() const override;
+  std::vector<float> ParameterLrMultipliers() const override;
+
+ private:
+  void Build(const CollectiveDataset& data);
+
+  HierGatPlusConfig config_;
+  LmBackbone backbone_;
+  std::unique_ptr<ContextualEmbedder> contextual_;
+  std::unique_ptr<HierarchicalAggregator> aggregator_;
+  std::unique_ptr<HierarchicalComparator> comparator_;
+  std::unique_ptr<EntityAligner> aligner_;
+  std::unique_ptr<Mlp> classifier_;
+  int num_attributes_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_HIERGAT_PLUS_H_

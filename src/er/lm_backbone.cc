@@ -1,0 +1,109 @@
+#include "er/lm_backbone.h"
+
+#include "text/tokenizer.h"
+
+namespace hiergat {
+
+namespace {
+
+void AddEntityTokens(const Entity& entity, Vocabulary* vocab) {
+  for (const auto& [key, value] : entity.attributes()) {
+    for (const std::string& token : Tokenize(key)) vocab->Add(token);
+    for (const std::string& token : Tokenize(value)) vocab->Add(token);
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Vocabulary> BuildVocabulary(
+    const std::vector<const std::vector<EntityPair>*>& splits) {
+  auto vocab = std::make_unique<Vocabulary>();
+  for (const auto* split : splits) {
+    for (const EntityPair& pair : *split) {
+      AddEntityTokens(pair.left, vocab.get());
+      AddEntityTokens(pair.right, vocab.get());
+    }
+  }
+  return vocab;
+}
+
+std::unique_ptr<Vocabulary> BuildVocabularyCollective(
+    const std::vector<const std::vector<CollectiveQuery>*>& splits) {
+  auto vocab = std::make_unique<Vocabulary>();
+  for (const auto* split : splits) {
+    for (const CollectiveQuery& query : *split) {
+      AddEntityTokens(query.query, vocab.get());
+      for (const Entity& candidate : query.candidates) {
+        AddEntityTokens(candidate, vocab.get());
+      }
+    }
+  }
+  return vocab;
+}
+
+std::vector<std::vector<int>> MakeCorpus(
+    const std::vector<EntityPair>& pairs, const Vocabulary& vocab) {
+  std::vector<std::vector<int>> corpus;
+  for (const EntityPair& pair : pairs) {
+    for (const Entity* entity : {&pair.left, &pair.right}) {
+      // One sentence per attribute value plus one whole-entity
+      // serialization (the distribution Ditto's inference format sees).
+      std::vector<int> whole;
+      for (const auto& [key, value] : entity->attributes()) {
+        std::vector<int> ids = vocab.Encode(Tokenize(value));
+        if (ids.empty()) continue;
+        whole.insert(whole.end(), ids.begin(), ids.end());
+        corpus.push_back(std::move(ids));
+      }
+      if (!whole.empty()) {
+        if (whole.size() > 40) whole.resize(40);
+        corpus.push_back(std::move(whole));
+      }
+    }
+  }
+  return corpus;
+}
+
+LmBackbone MakeBackbone(const PairDataset& data, LmSize size,
+                        int pretrain_steps, uint64_t seed) {
+  LmBackbone backbone;
+  backbone.vocab =
+      BuildVocabulary({&data.train, &data.valid, &data.test});
+  backbone.lm = std::make_unique<MiniLm>(size, backbone.vocab.get(), seed);
+  if (pretrain_steps > 0) {
+    Rng rng(seed ^ 0x5555u);
+    const std::vector<std::vector<int>> corpus =
+        MakeCorpus(data.train, *backbone.vocab);
+    // Masked-token + sentence-pair objectives, mirroring BERT's
+    // MLM + NSP split (the pair objective carries the cross-[SEP]
+    // alignment ability the ER heads rely on).
+    backbone.lm->Pretrain(corpus, pretrain_steps / 3, 1e-3f, rng);
+    backbone.lm->PretrainPaired(corpus, pretrain_steps - pretrain_steps / 3,
+                                1e-3f, rng);
+  }
+  return backbone;
+}
+
+LmBackbone MakeBackboneCollective(const CollectiveDataset& data, LmSize size,
+                                  int pretrain_steps, uint64_t seed) {
+  LmBackbone backbone;
+  backbone.vocab =
+      BuildVocabularyCollective({&data.train, &data.valid, &data.test});
+  backbone.lm = std::make_unique<MiniLm>(size, backbone.vocab.get(), seed);
+  if (pretrain_steps > 0) {
+    std::vector<std::vector<int>> corpus;
+    for (const CollectiveQuery& query : data.train) {
+      for (const auto& [key, value] : query.query.attributes()) {
+        std::vector<int> ids = backbone.vocab->Encode(Tokenize(value));
+        if (!ids.empty()) corpus.push_back(std::move(ids));
+      }
+    }
+    Rng rng(seed ^ 0xaaaau);
+    backbone.lm->Pretrain(corpus, pretrain_steps / 3, 1e-3f, rng);
+    backbone.lm->PretrainPaired(corpus, pretrain_steps - pretrain_steps / 3,
+                                1e-3f, rng);
+  }
+  return backbone;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,48 @@
+#ifndef HIERGAT_ER_LM_BACKBONE_H_
+#define HIERGAT_ER_LM_BACKBONE_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/entity.h"
+#include "text/mini_lm.h"
+#include "text/vocab.h"
+
+namespace hiergat {
+
+/// The shared "pre-trained language model" bundle used by the
+/// Transformer-based matchers (Ditto, HierGAT, HierGAT+): a vocabulary
+/// covering the corpus plus a MiniLM encoder over it.
+struct LmBackbone {
+  std::unique_ptr<Vocabulary> vocab;
+  std::unique_ptr<MiniLm> lm;
+};
+
+/// Builds the vocabulary over every token of every entity in `pairs`
+/// (all splits): this stands in for a pre-trained LM's open vocabulary —
+/// seeing a *surface form* is not label leakage, and MiniLM's hashed
+/// n-gram rows give unseen forms sensible vectors anyway.
+std::unique_ptr<Vocabulary> BuildVocabulary(
+    const std::vector<const std::vector<EntityPair>*>& splits);
+
+/// Vocabulary over a collective dataset.
+std::unique_ptr<Vocabulary> BuildVocabularyCollective(
+    const std::vector<const std::vector<CollectiveQuery>*>& splits);
+
+/// Token-id sentences (one per attribute value) for masked-LM
+/// pre-training of the backbone.
+std::vector<std::vector<int>> MakeCorpus(
+    const std::vector<EntityPair>& pairs, const Vocabulary& vocab);
+
+/// Constructs the backbone for a pairwise dataset and optionally runs
+/// `pretrain_steps` of masked-token pre-training on its text.
+LmBackbone MakeBackbone(const PairDataset& data, LmSize size,
+                        int pretrain_steps, uint64_t seed);
+
+/// Same for collective data.
+LmBackbone MakeBackboneCollective(const CollectiveDataset& data, LmSize size,
+                                  int pretrain_steps, uint64_t seed);
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_LM_BACKBONE_H_

@@ -1,0 +1,43 @@
+#include "er/metrics.h"
+
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace hiergat {
+
+std::string EvalResult::ToString() const {
+  std::ostringstream out;
+  out << "P=" << precision << " R=" << recall << " F1=" << f1;
+  return out.str();
+}
+
+EvalResult ComputeMetrics(const std::vector<float>& probabilities,
+                          const std::vector<int>& labels, float threshold) {
+  HG_CHECK_EQ(probabilities.size(), labels.size());
+  EvalResult result;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const bool predicted = probabilities[i] >= threshold;
+    const bool actual = labels[i] == 1;
+    if (predicted && actual) ++result.true_positives;
+    else if (predicted && !actual) ++result.false_positives;
+    else if (!predicted && actual) ++result.false_negatives;
+  }
+  const int tp = result.true_positives;
+  if (tp + result.false_positives > 0) {
+    result.precision =
+        static_cast<float>(tp) /
+        static_cast<float>(tp + result.false_positives);
+  }
+  if (tp + result.false_negatives > 0) {
+    result.recall = static_cast<float>(tp) /
+                    static_cast<float>(tp + result.false_negatives);
+  }
+  if (result.precision + result.recall > 0.0f) {
+    result.f1 = 2.0f * result.precision * result.recall /
+                (result.precision + result.recall);
+  }
+  return result;
+}
+
+}  // namespace hiergat

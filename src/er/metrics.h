@@ -1,0 +1,29 @@
+#ifndef HIERGAT_ER_METRICS_H_
+#define HIERGAT_ER_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace hiergat {
+
+/// Precision / recall / F1 of a binary matcher (the paper's metric).
+struct EvalResult {
+  float precision = 0.0f;
+  float recall = 0.0f;
+  float f1 = 0.0f;
+  int true_positives = 0;
+  int false_positives = 0;
+  int false_negatives = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes P/R/F1 from match probabilities and gold labels using the
+/// given decision threshold (0.5 like the paper's classifier).
+EvalResult ComputeMetrics(const std::vector<float>& probabilities,
+                          const std::vector<int>& labels,
+                          float threshold = 0.5f);
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_METRICS_H_

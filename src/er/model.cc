@@ -1,0 +1,69 @@
+#include "er/model.h"
+
+namespace hiergat {
+
+EvalResult PairwiseModel::Evaluate(const std::vector<EntityPair>& pairs) {
+  std::vector<float> probabilities;
+  std::vector<int> labels;
+  probabilities.reserve(pairs.size());
+  labels.reserve(pairs.size());
+  for (const EntityPair& pair : pairs) {
+    probabilities.push_back(PredictProbability(pair));
+    labels.push_back(pair.label);
+  }
+  return ComputeMetrics(probabilities, labels);
+}
+
+EvalResult CollectiveModel::Evaluate(
+    const std::vector<CollectiveQuery>& queries) {
+  std::vector<float> probabilities;
+  std::vector<int> labels;
+  for (const CollectiveQuery& query : queries) {
+    const std::vector<float> probs = PredictQuery(query);
+    probabilities.insert(probabilities.end(), probs.begin(), probs.end());
+    labels.insert(labels.end(), query.labels.begin(), query.labels.end());
+  }
+  return ComputeMetrics(probabilities, labels);
+}
+
+PairDataset FlattenCollective(const CollectiveDataset& data) {
+  PairDataset flat;
+  flat.name = data.name;
+  auto flatten = [](const std::vector<CollectiveQuery>& queries,
+                    std::vector<EntityPair>* out) {
+    for (const CollectiveQuery& q : queries) {
+      for (size_t i = 0; i < q.candidates.size(); ++i) {
+        EntityPair pair;
+        pair.left = q.query;
+        pair.right = q.candidates[i];
+        pair.label = q.labels[i];
+        out->push_back(std::move(pair));
+      }
+    }
+  };
+  flatten(data.train, &flat.train);
+  flatten(data.valid, &flat.valid);
+  flatten(data.test, &flat.test);
+  return flat;
+}
+
+void PairwiseAsCollective::Train(const CollectiveDataset& data,
+                                 const TrainOptions& options) {
+  pairwise_->Train(FlattenCollective(data), options);
+}
+
+std::vector<float> PairwiseAsCollective::PredictQuery(
+    const CollectiveQuery& query) {
+  std::vector<float> probs;
+  probs.reserve(query.candidates.size());
+  for (size_t i = 0; i < query.candidates.size(); ++i) {
+    EntityPair pair;
+    pair.left = query.query;
+    pair.right = query.candidates[i];
+    pair.label = query.labels[i];
+    probs.push_back(pairwise_->PredictProbability(pair));
+  }
+  return probs;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,88 @@
+#ifndef HIERGAT_ER_MODEL_H_
+#define HIERGAT_ER_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "data/entity.h"
+#include "er/metrics.h"
+
+namespace hiergat {
+
+/// Training hyper-parameters shared by all learned matchers. The paper
+/// uses lr 1e-5 / 10 epochs / batch 16 for the large HuggingFace LMs;
+/// our MiniLM-scale engine trains with a proportionally larger lr.
+struct TrainOptions {
+  int epochs = 10;
+  float lr = 2e-3f;
+  int batch_size = 16;
+  float grad_clip = 5.0f;
+  uint64_t seed = 42;
+  bool verbose = false;
+  /// If > 0, subsample the training split to this many pairs/queries
+  /// (used by the label-efficiency experiments and bench scaling).
+  int max_train_items = 0;
+  /// Select the best epoch by validation F1 and restore those weights
+  /// (§6.1: "each epoch is verified by the validation set").
+  bool select_best_on_validation = true;
+};
+
+/// A pairwise ER matcher (§2.1): judges candidate pairs independently.
+class PairwiseModel {
+ public:
+  virtual ~PairwiseModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Fits the matcher on `data.train`, using `data.valid` for model
+  /// selection.
+  virtual void Train(const PairDataset& data, const TrainOptions& options) = 0;
+
+  /// P(match) for one candidate pair.
+  virtual float PredictProbability(const EntityPair& pair) = 0;
+
+  /// P/R/F1 over a pair list.
+  EvalResult Evaluate(const std::vector<EntityPair>& pairs);
+};
+
+/// A collective ER matcher (§2.1, Figure 2): decides a query's N
+/// candidates jointly.
+class CollectiveModel {
+ public:
+  virtual ~CollectiveModel() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual void Train(const CollectiveDataset& data,
+                     const TrainOptions& options) = 0;
+
+  /// P(match) for each candidate of `query` (size = #candidates).
+  virtual std::vector<float> PredictQuery(const CollectiveQuery& query) = 0;
+
+  /// P/R/F1 over all candidates of all queries.
+  EvalResult Evaluate(const std::vector<CollectiveQuery>& queries);
+};
+
+/// Runs a pairwise matcher on collective data by scoring each
+/// (query, candidate) pair independently — how MG/DM/Ditto/HierGAT
+/// appear in Table 7.
+class PairwiseAsCollective : public CollectiveModel {
+ public:
+  explicit PairwiseAsCollective(PairwiseModel* pairwise)
+      : pairwise_(pairwise) {}
+
+  std::string name() const override { return pairwise_->name(); }
+  void Train(const CollectiveDataset& data,
+             const TrainOptions& options) override;
+  std::vector<float> PredictQuery(const CollectiveQuery& query) override;
+
+ private:
+  PairwiseModel* pairwise_;  // Not owned.
+};
+
+/// Flattens a collective dataset into independent labeled pairs.
+PairDataset FlattenCollective(const CollectiveDataset& data);
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_MODEL_H_

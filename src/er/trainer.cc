@@ -1,0 +1,143 @@
+#include "er/trainer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace hiergat {
+
+std::vector<std::vector<float>> SnapshotParameters(
+    const std::vector<Tensor>& params) {
+  std::vector<std::vector<float>> snapshot;
+  snapshot.reserve(params.size());
+  for (const Tensor& p : params) snapshot.push_back(p.data());
+  return snapshot;
+}
+
+void RestoreParameters(const std::vector<std::vector<float>>& snapshot,
+                       std::vector<Tensor>* params) {
+  for (size_t i = 0; i < params->size(); ++i) {
+    (*params)[i].data() = snapshot[i];
+  }
+}
+
+namespace {
+
+template <typename Item, typename ForwardFn, typename EvaluateFn>
+double RunTrainingLoop(const std::vector<Item>& train_items,
+                       bool has_validation, const TrainOptions& options,
+                       std::vector<Tensor> params,
+                       std::vector<float> lr_multipliers, Rng& rng,
+                       ForwardFn forward_loss, EvaluateFn evaluate_valid,
+                       const std::string& model_name) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<int> order(train_items.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  int effective = static_cast<int>(order.size());
+  if (options.max_train_items > 0 &&
+      options.max_train_items < effective) {
+    effective = options.max_train_items;
+  }
+
+  Adam optimizer(params, options.lr);
+  if (!lr_multipliers.empty()) {
+    optimizer.SetLrMultipliers(std::move(lr_multipliers));
+  }
+  float best_f1 = -1.0f;
+  std::vector<std::vector<float>> best_snapshot;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextUint64(i)]);
+    }
+    float epoch_loss = 0.0f;
+    int steps = 0;
+    for (int begin = 0; begin < effective; begin += options.batch_size) {
+      const int end = std::min(effective, begin + options.batch_size);
+      optimizer.ZeroGrad();
+      Tensor batch_loss;
+      for (int i = begin; i < end; ++i) {
+        Tensor loss = forward_loss(
+            train_items[static_cast<size_t>(order[static_cast<size_t>(i)])]);
+        batch_loss = batch_loss.defined() ? Add(batch_loss, loss) : loss;
+      }
+      batch_loss = Scale(batch_loss, 1.0f / static_cast<float>(end - begin));
+      batch_loss.Backward();
+      optimizer.ClipGradNorm(options.grad_clip);
+      optimizer.Step();
+      epoch_loss += batch_loss.item();
+      ++steps;
+    }
+    float valid_f1 = 0.0f;
+    if (has_validation && options.select_best_on_validation) {
+      valid_f1 = evaluate_valid();
+      if (valid_f1 > best_f1) {
+        best_f1 = valid_f1;
+        best_snapshot = SnapshotParameters(params);
+      }
+    }
+    if (options.verbose) {
+      std::printf("[%s] epoch %d/%d loss=%.4f valid_f1=%.3f\n",
+                  model_name.c_str(), epoch + 1, options.epochs,
+                  steps > 0 ? epoch_loss / static_cast<float>(steps) : 0.0f,
+                  valid_f1);
+    }
+  }
+  if (!best_snapshot.empty()) {
+    RestoreParameters(best_snapshot, &params);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+}  // namespace
+
+void NeuralPairwiseModel::Train(const PairDataset& data,
+                                const TrainOptions& options) {
+  rng_.Seed(options.seed);
+  last_train_seconds_ = RunTrainingLoop(
+      data.train, !data.valid.empty(), options, TrainableParameters(),
+      ParameterLrMultipliers(), rng_,
+      [this](const EntityPair& pair) {
+        Tensor logits = ForwardLogits(pair, /*training=*/true);
+        return SoftmaxCrossEntropy(logits, {pair.label});
+      },
+      [this, &data]() { return Evaluate(data.valid).f1; }, name());
+}
+
+float NeuralPairwiseModel::PredictProbability(const EntityPair& pair) {
+  Tensor logits = ForwardLogits(pair, /*training=*/false);
+  Tensor probs = Softmax(logits);
+  return probs.at(0, 1);
+}
+
+void NeuralCollectiveModel::Train(const CollectiveDataset& data,
+                                  const TrainOptions& options) {
+  rng_.Seed(options.seed);
+  // §6.3: the batch is one query's full candidate set.
+  TrainOptions per_query = options;
+  per_query.batch_size = 1;
+  last_train_seconds_ = RunTrainingLoop(
+      data.train, !data.valid.empty(), per_query, TrainableParameters(),
+      ParameterLrMultipliers(), rng_,
+      [this](const CollectiveQuery& query) {
+        Tensor logits = ForwardQueryLogits(query, /*training=*/true);
+        return SoftmaxCrossEntropy(logits, query.labels);
+      },
+      [this, &data]() { return Evaluate(data.valid).f1; }, name());
+}
+
+std::vector<float> NeuralCollectiveModel::PredictQuery(
+    const CollectiveQuery& query) {
+  Tensor logits = ForwardQueryLogits(query, /*training=*/false);
+  Tensor probs = Softmax(logits);
+  std::vector<float> result;
+  result.reserve(static_cast<size_t>(probs.dim(0)));
+  for (int i = 0; i < probs.dim(0); ++i) result.push_back(probs.at(i, 1));
+  return result;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,74 @@
+#ifndef HIERGAT_ER_TRAINER_H_
+#define HIERGAT_ER_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "er/model.h"
+#include "tensor/tensor.h"
+
+namespace hiergat {
+
+/// Snapshot/restore of parameter values (for best-epoch selection).
+std::vector<std::vector<float>> SnapshotParameters(
+    const std::vector<Tensor>& params);
+void RestoreParameters(const std::vector<std::vector<float>>& snapshot,
+                       std::vector<Tensor>* params);
+
+/// Base class for gradient-trained pairwise matchers. Subclasses
+/// implement the per-pair forward pass; the shared Train() handles
+/// batching, Adam, gradient clipping, and best-epoch selection.
+class NeuralPairwiseModel : public PairwiseModel {
+ public:
+  void Train(const PairDataset& data, const TrainOptions& options) override;
+  float PredictProbability(const EntityPair& pair) override;
+
+  /// Seconds spent inside the last Train() call (Figure 11).
+  double last_train_seconds() const { return last_train_seconds_; }
+
+ protected:
+  /// Match logits [1, 2] for one pair. Rebuilds the graph every call.
+  virtual Tensor ForwardLogits(const EntityPair& pair, bool training) = 0;
+  /// All trainable parameters.
+  virtual std::vector<Tensor> TrainableParameters() const = 0;
+  /// Optional per-parameter lr multipliers (parallel to
+  /// TrainableParameters); empty means 1.0 everywhere. Lets pre-trained
+  /// backbone tensors fine-tune slower than fresh heads.
+  virtual std::vector<float> ParameterLrMultipliers() const { return {}; }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_{42};
+  double last_train_seconds_ = 0.0;
+};
+
+/// Base class for gradient-trained collective matchers: one query (with
+/// its full candidate set) per optimization step, per §6.3.
+class NeuralCollectiveModel : public CollectiveModel {
+ public:
+  void Train(const CollectiveDataset& data,
+             const TrainOptions& options) override;
+  std::vector<float> PredictQuery(const CollectiveQuery& query) override;
+
+  double last_train_seconds() const { return last_train_seconds_; }
+
+ protected:
+  /// Match logits [N, 2], one row per candidate of `query`.
+  virtual Tensor ForwardQueryLogits(const CollectiveQuery& query,
+                                    bool training) = 0;
+  virtual std::vector<Tensor> TrainableParameters() const = 0;
+  /// See NeuralPairwiseModel::ParameterLrMultipliers.
+  virtual std::vector<float> ParameterLrMultipliers() const { return {}; }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_{42};
+  double last_train_seconds_ = 0.0;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_TRAINER_H_

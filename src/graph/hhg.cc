@@ -1,0 +1,100 @@
+#include "graph/hhg.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/logging.h"
+#include "text/tokenizer.h"
+
+namespace hiergat {
+
+Hhg Hhg::Build(const std::vector<Entity>& entities) {
+  HG_CHECK_GE(entities.size(), 1u);
+  Hhg graph;
+  std::unordered_map<std::string, std::vector<int>> groups_by_key;
+  std::vector<std::string> key_order;
+
+  for (size_t ei = 0; ei < entities.size(); ++ei) {
+    EntityNode entity_node;
+    for (const auto& [key, value] : entities[ei].attributes()) {
+      AttributeNode attr;
+      attr.key = key;
+      attr.entity = static_cast<int>(ei);
+      for (const std::string& word : Tokenize(value)) {
+        auto [it, inserted] = graph.token_ids_.emplace(
+            word, static_cast<int>(graph.tokens_.size()));
+        if (inserted) {
+          graph.tokens_.push_back(word);
+          graph.token_to_attributes_.emplace_back();
+          graph.token_entities_.emplace_back();
+        }
+        attr.token_seq.push_back(it->second);
+      }
+      const int attr_id = static_cast<int>(graph.attributes_.size());
+      // Register adjacency (dedup per attribute).
+      std::unordered_set<int> distinct(attr.token_seq.begin(),
+                                       attr.token_seq.end());
+      for (int token_id : distinct) {
+        graph.token_to_attributes_[static_cast<size_t>(token_id)].push_back(
+            attr_id);
+        auto& owners = graph.token_entities_[static_cast<size_t>(token_id)];
+        if (owners.empty() || owners.back() != static_cast<int>(ei)) {
+          owners.push_back(static_cast<int>(ei));
+        }
+      }
+      if (!groups_by_key.count(key)) key_order.push_back(key);
+      groups_by_key[key].push_back(attr_id);
+      entity_node.attributes.push_back(attr_id);
+      graph.attributes_.push_back(std::move(attr));
+    }
+    graph.entities_.push_back(std::move(entity_node));
+  }
+
+  for (const std::string& key : key_order) {
+    graph.key_groups_.emplace_back(key, groups_by_key[key]);
+  }
+  for (int t = 0; t < graph.num_tokens(); ++t) {
+    if (graph.token_entities_[static_cast<size_t>(t)].size() >= 2) {
+      graph.common_tokens_.push_back(t);
+    }
+  }
+  return graph;
+}
+
+std::vector<int> Hhg::CommonTokensForKeyGroup(int group,
+                                              int max_count) const {
+  HG_CHECK(group >= 0 && group < static_cast<int>(key_groups_.size()));
+  std::unordered_set<int> group_attrs(
+      key_groups_[static_cast<size_t>(group)].second.begin(),
+      key_groups_[static_cast<size_t>(group)].second.end());
+  std::vector<int> result;
+  for (int t : common_tokens_) {
+    for (int attr : token_to_attributes_[static_cast<size_t>(t)]) {
+      if (group_attrs.count(attr)) {
+        result.push_back(t);
+        break;
+      }
+    }
+    if (static_cast<int>(result.size()) >= max_count) break;
+  }
+  return result;
+}
+
+std::vector<int> Hhg::RelatedEntities(int entity_id) const {
+  HG_CHECK(entity_id >= 0 && entity_id < num_entities());
+  std::unordered_set<int> related;
+  for (int t : common_tokens_) {
+    const auto& owners = token_entities_[static_cast<size_t>(t)];
+    if (std::find(owners.begin(), owners.end(), entity_id) == owners.end()) {
+      continue;
+    }
+    for (int other : owners) {
+      if (other != entity_id) related.insert(other);
+    }
+  }
+  std::vector<int> result(related.begin(), related.end());
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,96 @@
+#ifndef HIERGAT_GRAPH_HHG_H_
+#define HIERGAT_GRAPH_HHG_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/entity.h"
+
+namespace hiergat {
+
+/// Hierarchical Heterogeneous Graph (§2.2, Figures 3-4).
+///
+/// Three node layers:
+///  - token nodes: one per *distinct* surface token across the whole
+///    graph (Figure 4: a single "framework" node even if the word
+///    appears in several attributes/entities);
+///  - attribute nodes: one per <key, value> of every input entity (keys
+///    repeat across entities — two "desc" nodes for e1 and e2);
+///  - entity nodes: one per input entity.
+///
+/// Edges: token-attribute (with token order preserved per attribute for
+/// positional information), attribute-entity, and the implicit
+/// entity-entity relation of candidates sharing the graph.
+class Hhg {
+ public:
+  struct AttributeNode {
+    std::string key;
+    int entity = 0;                ///< Owning entity index.
+    std::vector<int> token_seq;    ///< Ordered token ids (repeats kept).
+  };
+
+  struct EntityNode {
+    std::vector<int> attributes;   ///< Attribute node ids, schema order.
+  };
+
+  /// Builds the HHG for 2 entities (pairwise ER) or 1 + N entities
+  /// (collective ER; the first entity is the query).
+  static Hhg Build(const std::vector<Entity>& entities);
+
+  int num_tokens() const { return static_cast<int>(tokens_.size()); }
+  int num_attributes() const { return static_cast<int>(attributes_.size()); }
+  int num_entities() const { return static_cast<int>(entities_.size()); }
+
+  const std::string& token(int id) const {
+    return tokens_[static_cast<size_t>(id)];
+  }
+  const std::vector<std::string>& tokens() const { return tokens_; }
+  const AttributeNode& attribute(int id) const {
+    return attributes_[static_cast<size_t>(id)];
+  }
+  const std::vector<AttributeNode>& attributes() const { return attributes_; }
+  const EntityNode& entity(int id) const {
+    return entities_[static_cast<size_t>(id)];
+  }
+  const std::vector<EntityNode>& entities() const { return entities_; }
+
+  /// Unique attribute keys with the attribute-node ids sharing each key
+  /// (the paper's unique-attribute set \bar{V^a}).
+  const std::vector<std::pair<std::string, std::vector<int>>>& key_groups()
+      const {
+    return key_groups_;
+  }
+
+  /// Attribute-node ids adjacent to each token (token -> attributes).
+  const std::vector<std::vector<int>>& token_to_attributes() const {
+    return token_to_attributes_;
+  }
+
+  /// Ids of tokens appearing in at least two different entities — the
+  /// "common tokens" whose repeated aggregation creates the redundant
+  /// context of §4.2 / §5.2.3.
+  const std::vector<int>& common_tokens() const { return common_tokens_; }
+
+  /// Common tokens restricted to attributes of key-group `group`, capped
+  /// at `max_count` (the paper fixes 10 for entity-level context).
+  std::vector<int> CommonTokensForKeyGroup(int group, int max_count) const;
+
+  /// Entity ids (other than `entity_id`) that share at least one common
+  /// token with `entity_id` — the neighbor set D_i of Eq. 5.
+  std::vector<int> RelatedEntities(int entity_id) const;
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> token_ids_;
+  std::vector<AttributeNode> attributes_;
+  std::vector<EntityNode> entities_;
+  std::vector<std::pair<std::string, std::vector<int>>> key_groups_;
+  std::vector<std::vector<int>> token_to_attributes_;
+  std::vector<int> common_tokens_;
+  std::vector<std::vector<int>> token_entities_;  // token -> entity ids
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_GRAPH_HHG_H_

@@ -1,0 +1,51 @@
+#ifndef HIERGAT_NN_ATTENTION_H_
+#define HIERGAT_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace hiergat {
+
+/// Multi-head scaled-dot-product self-attention over one sequence.
+///
+/// Input is [seq_len, dim]; each head h projects to dim/heads, attends,
+/// and the concatenated head outputs pass through an output projection.
+/// Padding masks are unnecessary: the library processes one variable-
+/// length sequence at a time.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int dim, int num_heads, Rng& rng);
+
+  /// Self-attention: queries, keys, and values all come from `x`.
+  Tensor Forward(const Tensor& x) const { return Forward(x, x); }
+
+  /// Cross-attention: queries from `q_input` [Lq, dim], keys/values from
+  /// `kv_input` [Lk, dim]. Returns [Lq, dim].
+  Tensor Forward(const Tensor& q_input, const Tensor& kv_input) const;
+
+  /// Row-stochastic attention matrix [Lq, Lk] of the last Forward call,
+  /// averaged over heads (detached; used for attention visualization).
+  const Tensor& last_attention() const { return last_attention_; }
+
+  std::vector<Tensor> Parameters() const override;
+
+  int dim() const { return dim_; }
+  int num_heads() const { return num_heads_; }
+
+ private:
+  int dim_;
+  int num_heads_;
+  int head_dim_;
+  std::vector<std::unique_ptr<Linear>> q_proj_;  // one per head, dim->head_dim
+  std::vector<std::unique_ptr<Linear>> k_proj_;
+  std::vector<std::unique_ptr<Linear>> v_proj_;
+  std::unique_ptr<Linear> out_proj_;             // dim->dim
+  mutable Tensor last_attention_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_NN_ATTENTION_H_

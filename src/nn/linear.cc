@@ -1,0 +1,29 @@
+#include "nn/linear.h"
+
+#include "core/logging.h"
+
+namespace hiergat {
+
+Linear::Linear(int in_features, int out_features, Rng& rng, bool use_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = Tensor::Xavier(in_features, out_features, rng,
+                           /*requires_grad=*/true);
+  if (use_bias) {
+    bias_ = Tensor::Zeros({out_features}, /*requires_grad=*/true);
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  HG_CHECK_EQ(x.dim(1), in_features_);
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+std::vector<Tensor> Linear::Parameters() const {
+  std::vector<Tensor> params = {weight_};
+  if (bias_.defined()) params.push_back(bias_);
+  return params;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,42 @@
+#ifndef HIERGAT_NN_MODULE_H_
+#define HIERGAT_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hiergat {
+
+/// Base class for neural-network building blocks.
+///
+/// A Module owns trainable Tensors (parameters). Parameters() returns
+/// shared handles so optimizers can update them in place. Modules are
+/// neither copyable nor movable once constructed (parameters are shared
+/// state referenced by optimizers).
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module (recursively).
+  virtual std::vector<Tensor> Parameters() const = 0;
+
+  /// Total number of trainable scalars.
+  int64_t ParameterCount() const {
+    int64_t n = 0;
+    for (const Tensor& t : Parameters()) n += t.numel();
+    return n;
+  }
+};
+
+/// Appends `extra` to `into` (helper for composing Parameters()).
+inline void AppendParameters(std::vector<Tensor>* into,
+                             const std::vector<Tensor>& extra) {
+  into->insert(into->end(), extra.begin(), extra.end());
+}
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_NN_MODULE_H_

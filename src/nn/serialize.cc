@@ -1,0 +1,67 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+
+namespace hiergat {
+
+namespace {
+constexpr uint32_t kMagic = 0x48474154;  // "HGAT"
+}  // namespace
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<Tensor>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  const uint32_t magic = kMagic;
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& t : params) {
+    const uint32_t rank = static_cast<uint32_t>(t.rank());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int i = 0; i < t.rank(); ++i) {
+      const int32_t d = t.dim(i);
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(t.data().data()),
+              static_cast<std::streamsize>(t.data().size() * sizeof(float)));
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::string& path, std::vector<Tensor>* params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  uint32_t magic = 0, count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (magic != kMagic) return Status::InvalidArgument("bad magic in " + path);
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (count != params->size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: file has " + std::to_string(count) +
+        ", model has " + std::to_string(params->size()));
+  }
+  for (Tensor& t : *params) {
+    uint32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (static_cast<int>(rank) != t.rank()) {
+      return Status::InvalidArgument("rank mismatch in " + path);
+    }
+    for (int i = 0; i < t.rank(); ++i) {
+      int32_t d = 0;
+      in.read(reinterpret_cast<char*>(&d), sizeof(d));
+      if (d != t.dim(i)) {
+        return Status::InvalidArgument("shape mismatch in " + path);
+      }
+    }
+    in.read(reinterpret_cast<char*>(t.data().data()),
+            static_cast<std::streamsize>(t.data().size() * sizeof(float)));
+    if (!in) return Status::IOError("truncated file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace hiergat

@@ -1,0 +1,24 @@
+#ifndef HIERGAT_NN_SERIALIZE_H_
+#define HIERGAT_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace hiergat {
+
+/// Writes parameter tensors to a binary file. Format: magic, count, then
+/// per tensor: rank, dims, float32 payload. Load requires an identical
+/// architecture (same tensor count and shapes in the same order).
+Status SaveParameters(const std::string& path,
+                      const std::vector<Tensor>& params);
+
+/// Reads a file written by SaveParameters into the given (already
+/// constructed) parameters, validating shapes.
+Status LoadParameters(const std::string& path, std::vector<Tensor>* params);
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_NN_SERIALIZE_H_

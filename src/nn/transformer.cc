@@ -1,0 +1,88 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace hiergat {
+
+TransformerEncoderLayer::TransformerEncoderLayer(
+    const TransformerConfig& config, Rng& rng)
+    : config_(config) {
+  attn_ = std::make_unique<MultiHeadSelfAttention>(config.dim,
+                                                   config.num_heads, rng);
+  ffn1_ = std::make_unique<Linear>(config.dim, config.ffn_dim, rng);
+  ffn2_ = std::make_unique<Linear>(config.ffn_dim, config.dim, rng);
+  norm1_ = std::make_unique<LayerNormLayer>(config.dim);
+  norm2_ = std::make_unique<LayerNormLayer>(config.dim);
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x, bool training,
+                                        Rng& rng) const {
+  // Pre-LN residual blocks: x + Attn(LN(x)), then h + FFN(LN(h)).
+  // Pre-LN keeps gradients well-conditioned when training from scratch,
+  // which our MiniLM-scale models do.
+  Tensor attended = attn_->Forward(norm1_->Forward(x));
+  attended = Dropout(attended, config_.dropout, rng, training);
+  Tensor h = Add(x, attended);
+  Tensor ffn = ffn2_->Forward(Gelu(ffn1_->Forward(norm2_->Forward(h))));
+  ffn = Dropout(ffn, config_.dropout, rng, training);
+  return Add(h, ffn);
+}
+
+std::vector<Tensor> TransformerEncoderLayer::Parameters() const {
+  std::vector<Tensor> params;
+  AppendParameters(&params, attn_->Parameters());
+  AppendParameters(&params, ffn1_->Parameters());
+  AppendParameters(&params, ffn2_->Parameters());
+  AppendParameters(&params, norm1_->Parameters());
+  AppendParameters(&params, norm2_->Parameters());
+  return params;
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
+                                       Rng& rng)
+    : config_(config) {
+  for (int i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(config, rng));
+  }
+  final_norm_ = std::make_unique<LayerNormLayer>(config.dim);
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x, bool training, Rng& rng,
+                                   bool add_positions) const {
+  Tensor h = x;
+  if (add_positions) {
+    h = Add(h, Scale(SinusoidalPositions(x.dim(0), x.dim(1)),
+                     config_.position_scale));
+  }
+  for (const auto& layer : layers_) {
+    h = layer->Forward(h, training, rng);
+  }
+  return final_norm_->Forward(h);
+}
+
+std::vector<Tensor> TransformerEncoder::Parameters() const {
+  std::vector<Tensor> params;
+  for (const auto& layer : layers_) {
+    AppendParameters(&params, layer->Parameters());
+  }
+  AppendParameters(&params, final_norm_->Parameters());
+  return params;
+}
+
+Tensor SinusoidalPositions(int len, int dim) {
+  Tensor pos = Tensor::Zeros({len, dim});
+  for (int p = 0; p < len; ++p) {
+    for (int i = 0; i < dim; ++i) {
+      const float exponent =
+          static_cast<float>(2 * (i / 2)) / static_cast<float>(dim);
+      const float angle =
+          static_cast<float>(p) / std::pow(10000.0f, exponent);
+      pos.set(p, i, (i % 2 == 0) ? std::sin(angle) : std::cos(angle));
+    }
+  }
+  return pos;
+}
+
+}  // namespace hiergat

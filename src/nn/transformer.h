@@ -1,0 +1,78 @@
+#ifndef HIERGAT_NN_TRANSFORMER_H_
+#define HIERGAT_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.h"
+#include "nn/layer_norm.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace hiergat {
+
+/// Hyper-parameters of a transformer encoder stack.
+struct TransformerConfig {
+  int dim = 48;        ///< Model (embedding) width F.
+  int num_heads = 2;   ///< Attention heads; must divide dim.
+  int num_layers = 2;  ///< Encoder layers.
+  int ffn_dim = 96;    ///< Inner width of the feed-forward block.
+  float dropout = 0.1f;
+  /// Multiplier on the sinusoidal position signal. Kept well below the
+  /// (unit-norm) token embeddings so content dominates attention.
+  float position_scale = 0.1f;
+};
+
+/// One pre-LN transformer encoder layer:
+///   h = x + Dropout(SelfAttn(LN(x)));  out = h + Dropout(FFN(LN(h)))
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(const TransformerConfig& config, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool training, Rng& rng) const;
+
+  /// Attention matrix of the most recent Forward (head-averaged).
+  const Tensor& last_attention() const { return attn_->last_attention(); }
+
+  std::vector<Tensor> Parameters() const override;
+
+ private:
+  TransformerConfig config_;
+  std::unique_ptr<MultiHeadSelfAttention> attn_;
+  std::unique_ptr<Linear> ffn1_;
+  std::unique_ptr<Linear> ffn2_;
+  std::unique_ptr<LayerNormLayer> norm1_;
+  std::unique_ptr<LayerNormLayer> norm2_;
+};
+
+/// Stack of encoder layers with sinusoidal positional encoding.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const TransformerConfig& config, Rng& rng);
+
+  /// Encodes a [seq_len, dim] sequence. When `add_positions` is true a
+  /// sinusoidal position signal is added before the first layer.
+  Tensor Forward(const Tensor& x, bool training, Rng& rng,
+                 bool add_positions = true) const;
+
+  /// Head-averaged attention of the final layer's last Forward call.
+  const Tensor& last_attention() const {
+    return layers_.back()->last_attention();
+  }
+
+  std::vector<Tensor> Parameters() const override;
+
+  const TransformerConfig& config() const { return config_; }
+
+ private:
+  TransformerConfig config_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  std::unique_ptr<LayerNormLayer> final_norm_;
+};
+
+/// The classic sin/cos positional-encoding matrix of shape [len, dim].
+Tensor SinusoidalPositions(int len, int dim);
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_NN_TRANSFORMER_H_

@@ -1,0 +1,680 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace hiergat {
+
+namespace {
+
+// Backward lambdas capture raw impl pointers: the root Tensor keeps the
+// whole graph alive through the parents chain during Backward(), and
+// capturing shared_ptrs here would create a reference cycle (the output
+// node captures itself) that leaks every computation graph.
+using Impl = internal_tensor::TensorImpl*;
+
+bool AnyRequiresGrad(const Tensor& a) { return a.requires_grad(); }
+bool AnyRequiresGrad(const Tensor& a, const Tensor& b) {
+  return a.requires_grad() || b.requires_grad();
+}
+
+/// True when `b` is a rank-1 bias broadcastable over the rows of `a`.
+bool IsBiasBroadcast(const Tensor& a, const Tensor& b) {
+  return a.rank() == 2 && b.rank() == 1 && a.dim(1) == b.dim(0);
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  HG_CHECK(a.shape() == b.shape())
+      << op << ": shape mismatch " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+}
+
+/// Applies a scalar function and its derivative as a unary op.
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
+  const size_t n = a.data().size();
+  for (size_t i = 0; i < n; ++i) out.data()[i] = fwd(a.data()[i]);
+  if (rg) {
+    Impl ai = a.impl().get();
+    Impl oi = out.impl().get();
+    out.set_backward_fn([ai, oi, bwd]() {
+      ai->EnsureGrad();
+      const size_t n = ai->data.size();
+      for (size_t i = 0; i < n; ++i) {
+        ai->grad[i] += oi->grad[i] * bwd(ai->data[i], oi->data[i]);
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  const bool rg = AnyRequiresGrad(a, b);
+  if (IsBiasBroadcast(a, b)) {
+    Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
+    const int rows = a.dim(0), cols = a.dim(1);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        out.set(r, c, a.at(r, c) + b.at(c));
+      }
+    }
+    if (rg) {
+      Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
+      out.set_backward_fn([ai, bi, oi, rows, cols]() {
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          for (size_t i = 0; i < ai->data.size(); ++i)
+            ai->grad[i] += oi->grad[i];
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < cols; ++c)
+              bi->grad[static_cast<size_t>(c)] +=
+                  oi->grad[static_cast<size_t>(r) * cols + c];
+        }
+      });
+    }
+    return out;
+  }
+  CheckSameShape(a, b, "Add");
+  Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
+  for (size_t i = 0; i < a.data().size(); ++i)
+    out.data()[i] = a.data()[i] + b.data()[i];
+  if (rg) {
+    Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, bi, oi]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < ai->data.size(); ++i)
+          ai->grad[i] += oi->grad[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < bi->data.size(); ++i)
+          bi->grad[i] += oi->grad[i];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) { return Add(a, Neg(b)); }
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  const bool rg = AnyRequiresGrad(a, b);
+  Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
+  for (size_t i = 0; i < a.data().size(); ++i)
+    out.data()[i] = a.data()[i] * b.data()[i];
+  if (rg) {
+    Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, bi, oi]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        for (size_t i = 0; i < ai->data.size(); ++i)
+          ai->grad[i] += oi->grad[i] * bi->data[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        for (size_t i = 0; i < bi->data.size(); ++i)
+          bi->grad[i] += oi->grad[i] * ai->data[i];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  HG_CHECK_EQ(a.rank(), 2);
+  HG_CHECK_EQ(b.rank(), 2);
+  HG_CHECK_EQ(a.dim(1), b.dim(0))
+      << "MatMul " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  const bool rg = AnyRequiresGrad(a, b);
+  Tensor out = Tensor::MakeNode({m, n}, rg, {a, b});
+  // Row-major i-k-j loop keeps the inner loop contiguous in both b and out.
+  const float* ad = a.data().data();
+  const float* bd = b.data().data();
+  float* od = out.data().data();
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = ad[static_cast<size_t>(i) * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = bd + static_cast<size_t>(kk) * n;
+      float* orow = od + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  if (rg) {
+    Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, bi, oi, m, k, n]() {
+      const float* go = oi->grad.data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        // dA = dOut * B^T  (m x n) x (n x k)
+        float* ga = ai->grad.data();
+        const float* bd = bi->data.data();
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < n; ++j) {
+            const float gv = go[static_cast<size_t>(i) * n + j];
+            if (gv == 0.0f) continue;
+            for (int kk = 0; kk < k; ++kk) {
+              ga[static_cast<size_t>(i) * k + kk] +=
+                  gv * bd[static_cast<size_t>(kk) * n + j];
+            }
+          }
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        // dB = A^T * dOut  (k x m) x (m x n)
+        float* gb = bi->grad.data();
+        const float* ad = ai->data.data();
+        for (int i = 0; i < m; ++i) {
+          for (int kk = 0; kk < k; ++kk) {
+            const float av = ad[static_cast<size_t>(i) * k + kk];
+            if (av == 0.0f) continue;
+            const float* grow = go + static_cast<size_t>(i) * n;
+            float* brow = gb + static_cast<size_t>(kk) * n;
+            for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
+          }
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  HG_CHECK_EQ(a.rank(), 2);
+  const int r = a.dim(0), c = a.dim(1);
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode({c, r}, rg, {a});
+  for (int i = 0; i < r; ++i)
+    for (int j = 0; j < c; ++j) out.set(j, i, a.at(i, j));
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi, r, c]() {
+      ai->EnsureGrad();
+      for (int i = 0; i < r; ++i)
+        for (int j = 0; j < c; ++j)
+          ai->grad[static_cast<size_t>(i) * c + j] +=
+              oi->grad[static_cast<size_t>(j) * r + i];
+    });
+  }
+  return out;
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  HG_CHECK_EQ(NumElements(shape), a.numel());
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode(shape, rg, {a});
+  out.data() = a.data();
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < ai->data.size(); ++i)
+        ai->grad[i] += oi->grad[i];
+    });
+  }
+  return out;
+}
+
+Tensor Flatten(const Tensor& a) {
+  return Reshape(a, {static_cast<int>(a.numel())});
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  HG_CHECK(!parts.empty());
+  const int cols = parts[0].dim(1);
+  int rows = 0;
+  bool rg = false;
+  for (const Tensor& p : parts) {
+    HG_CHECK_EQ(p.rank(), 2);
+    HG_CHECK_EQ(p.dim(1), cols);
+    rows += p.dim(0);
+    rg = rg || p.requires_grad();
+  }
+  Tensor out = Tensor::MakeNode({rows, cols}, rg, parts);
+  size_t offset = 0;
+  for (const Tensor& p : parts) {
+    std::copy(p.data().begin(), p.data().end(), out.data().begin() + offset);
+    offset += p.data().size();
+  }
+  if (rg) {
+    std::vector<Impl> impls;
+    for (const Tensor& p : parts) impls.push_back(p.impl().get());
+    Impl oi = out.impl().get();
+    out.set_backward_fn([impls, oi]() {
+      size_t offset = 0;
+      for (const Impl& pi : impls) {
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          for (size_t i = 0; i < pi->data.size(); ++i)
+            pi->grad[i] += oi->grad[offset + i];
+        }
+        offset += pi->data.size();
+      }
+    });
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  HG_CHECK(!parts.empty());
+  const int rows = parts[0].dim(0);
+  int cols = 0;
+  bool rg = false;
+  for (const Tensor& p : parts) {
+    HG_CHECK_EQ(p.rank(), 2);
+    HG_CHECK_EQ(p.dim(0), rows);
+    cols += p.dim(1);
+    rg = rg || p.requires_grad();
+  }
+  Tensor out = Tensor::MakeNode({rows, cols}, rg, parts);
+  int col_offset = 0;
+  for (const Tensor& p : parts) {
+    const int pc = p.dim(1);
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < pc; ++c) out.set(r, col_offset + c, p.at(r, c));
+    col_offset += pc;
+  }
+  if (rg) {
+    std::vector<Impl> impls;
+    std::vector<int> widths;
+    for (const Tensor& p : parts) {
+      impls.push_back(p.impl().get());
+      widths.push_back(p.dim(1));
+    }
+    Impl oi = out.impl().get();
+    out.set_backward_fn([impls, widths, oi, rows, cols]() {
+      int col_offset = 0;
+      for (size_t pi = 0; pi < impls.size(); ++pi) {
+        const Impl& part = impls[pi];
+        const int pc = widths[pi];
+        if (part->requires_grad) {
+          part->EnsureGrad();
+          for (int r = 0; r < rows; ++r)
+            for (int c = 0; c < pc; ++c)
+              part->grad[static_cast<size_t>(r) * pc + c] +=
+                  oi->grad[static_cast<size_t>(r) * cols + col_offset + c];
+        }
+        col_offset += pc;
+      }
+    });
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int begin, int end) {
+  HG_CHECK_EQ(a.rank(), 2);
+  HG_CHECK(begin >= 0 && begin <= end && end <= a.dim(0));
+  const int cols = a.dim(1);
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode({end - begin, cols}, rg, {a});
+  std::copy(a.data().begin() + static_cast<size_t>(begin) * cols,
+            a.data().begin() + static_cast<size_t>(end) * cols,
+            out.data().begin());
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi, begin, cols]() {
+      ai->EnsureGrad();
+      const size_t base = static_cast<size_t>(begin) * cols;
+      for (size_t i = 0; i < oi->data.size(); ++i)
+        ai->grad[base + i] += oi->grad[i];
+    });
+  }
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int begin, int end) {
+  HG_CHECK_EQ(a.rank(), 2);
+  HG_CHECK(begin >= 0 && begin <= end && end <= a.dim(1));
+  const int rows = a.dim(0), cols = a.dim(1), width = end - begin;
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode({rows, width}, rg, {a});
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < width; ++c) out.set(r, c, a.at(r, begin + c));
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi, rows, cols, begin, width]() {
+      ai->EnsureGrad();
+      for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < width; ++c)
+          ai->grad[static_cast<size_t>(r) * cols + begin + c] +=
+              oi->grad[static_cast<size_t>(r) * width + c];
+    });
+  }
+  return out;
+}
+
+Tensor Row(const Tensor& a, int r) { return SliceRows(a, r, r + 1); }
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
+  HG_CHECK_EQ(a.rank(), 2);
+  const int cols = a.dim(1);
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out =
+      Tensor::MakeNode({static_cast<int>(indices.size()), cols}, rg, {a});
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int src = indices[i];
+    HG_CHECK(src >= 0 && src < a.dim(0));
+    std::copy(a.data().begin() + static_cast<size_t>(src) * cols,
+              a.data().begin() + static_cast<size_t>(src + 1) * cols,
+              out.data().begin() + i * cols);
+  }
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi, indices, cols]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < indices.size(); ++i) {
+        const size_t dst = static_cast<size_t>(indices[i]) * cols;
+        for (int c = 0; c < cols; ++c)
+          ai->grad[dst + c] += oi->grad[i * cols + c];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0 ? x : 0.0f; },
+      [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float alpha) {
+  return UnaryOp(
+      a, [alpha](float x) { return x > 0 ? x : alpha * x; },
+      [alpha](float x, float) { return x > 0 ? 1.0f : alpha; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Gelu(const Tensor& a) {
+  constexpr float kInvSqrt2 = 0.7071067811865475f;
+  constexpr float kInvSqrt2Pi = 0.3989422804014327f;
+  return UnaryOp(
+      a,
+      [](float x) { return 0.5f * x * (1.0f + std::erf(x * kInvSqrt2)); },
+      [](float x, float) {
+        const float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+        const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x * x);
+        return cdf + x * pdf;
+      });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
+}
+
+Tensor Sum(const Tensor& a) {
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode({1}, rg, {a});
+  float total = 0.0f;
+  for (float v : a.data()) total += v;
+  out.data()[0] = total;
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi]() {
+      ai->EnsureGrad();
+      const float g = oi->grad[0];
+      for (size_t i = 0; i < ai->data.size(); ++i) ai->grad[i] += g;
+    });
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& a) {
+  return Scale(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor SumRows(const Tensor& a) {
+  HG_CHECK_EQ(a.rank(), 2);
+  const int rows = a.dim(0), cols = a.dim(1);
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode({1, cols}, rg, {a});
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c)
+      out.data()[static_cast<size_t>(c)] += a.at(r, c);
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi, rows, cols]() {
+      ai->EnsureGrad();
+      for (int r = 0; r < rows; ++r)
+        for (int c = 0; c < cols; ++c)
+          ai->grad[static_cast<size_t>(r) * cols + c] +=
+              oi->grad[static_cast<size_t>(c)];
+    });
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  return Scale(SumRows(a), 1.0f / static_cast<float>(a.dim(0)));
+}
+
+Tensor Softmax(const Tensor& a) {
+  const int rows = a.rank() == 2 ? a.dim(0) : 1;
+  const int cols = a.rank() == 2 ? a.dim(1) : a.dim(0);
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
+  for (int r = 0; r < rows; ++r) {
+    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+    float* o = out.data().data() + static_cast<size_t>(r) * cols;
+    float mx = in[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      denom += o[c];
+    }
+    for (int c = 0; c < cols; ++c) o[c] /= denom;
+  }
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi, rows, cols]() {
+      ai->EnsureGrad();
+      for (int r = 0; r < rows; ++r) {
+        const float* y = oi->data.data() + static_cast<size_t>(r) * cols;
+        const float* gy = oi->grad.data() + static_cast<size_t>(r) * cols;
+        float* gx = ai->grad.data() + static_cast<size_t>(r) * cols;
+        float dot = 0.0f;
+        for (int c = 0; c < cols; ++c) dot += gy[c] * y[c];
+        for (int c = 0; c < cols; ++c) gx[c] += (gy[c] - dot) * y[c];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  HG_CHECK_EQ(x.rank(), 2);
+  const int rows = x.dim(0), cols = x.dim(1);
+  HG_CHECK_EQ(gamma.rank(), 1);
+  HG_CHECK_EQ(gamma.dim(0), cols);
+  HG_CHECK_EQ(beta.dim(0), cols);
+  const bool rg = x.requires_grad() || gamma.requires_grad() ||
+                  beta.requires_grad();
+  Tensor out = Tensor::MakeNode(x.shape(), rg, {x, gamma, beta});
+  // Cache per-row inverse stddev and normalized values for backward.
+  auto inv_std = std::make_shared<std::vector<float>>(rows);
+  auto xhat = std::make_shared<std::vector<float>>(x.data().size());
+  for (int r = 0; r < rows; ++r) {
+    const float* in = x.data().data() + static_cast<size_t>(r) * cols;
+    float mean = 0.0f;
+    for (int c = 0; c < cols; ++c) mean += in[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      const float d = in[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float istd = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[static_cast<size_t>(r)] = istd;
+    for (int c = 0; c < cols; ++c) {
+      const float xh = (in[c] - mean) * istd;
+      (*xhat)[static_cast<size_t>(r) * cols + c] = xh;
+      out.set(r, c, gamma.at(c) * xh + beta.at(c));
+    }
+  }
+  if (rg) {
+    Impl xi = x.impl().get(), gi = gamma.impl().get(),
+         bi = beta.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([xi, gi, bi, oi, inv_std, xhat, rows, cols]() {
+      for (int r = 0; r < rows; ++r) {
+        const float* gy = oi->grad.data() + static_cast<size_t>(r) * cols;
+        const float* xh = xhat->data() + static_cast<size_t>(r) * cols;
+        if (gi->requires_grad) {
+          gi->EnsureGrad();
+          for (int c = 0; c < cols; ++c)
+            gi->grad[static_cast<size_t>(c)] += gy[c] * xh[c];
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (int c = 0; c < cols; ++c)
+            bi->grad[static_cast<size_t>(c)] += gy[c];
+        }
+        if (xi->requires_grad) {
+          xi->EnsureGrad();
+          float* gx = xi->grad.data() + static_cast<size_t>(r) * cols;
+          // dxhat = gy * gamma; dx = istd * (dxhat - mean(dxhat)
+          //        - xhat * mean(dxhat * xhat))
+          float mean_dxhat = 0.0f, mean_dxhat_xhat = 0.0f;
+          for (int c = 0; c < cols; ++c) {
+            const float dxh = gy[c] * gi->data[static_cast<size_t>(c)];
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += dxh * xh[c];
+          }
+          mean_dxhat /= static_cast<float>(cols);
+          mean_dxhat_xhat /= static_cast<float>(cols);
+          const float istd = (*inv_std)[static_cast<size_t>(r)];
+          for (int c = 0; c < cols; ++c) {
+            const float dxh = gy[c] * gi->data[static_cast<size_t>(c)];
+            gx[c] += istd * (dxh - mean_dxhat - xh[c] * mean_dxhat_xhat);
+          }
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids) {
+  return GatherRows(weight, ids);
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  HG_CHECK_LT(p, 1.0f);
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
+  auto mask = std::make_shared<std::vector<float>>(a.data().size());
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    const float m = rng.NextBool(p) ? 0.0f : keep_scale;
+    (*mask)[i] = m;
+    out.data()[i] = a.data()[i] * m;
+  }
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi, mask]() {
+      ai->EnsureGrad();
+      for (size_t i = 0; i < ai->data.size(); ++i)
+        ai->grad[i] += oi->grad[i] * (*mask)[i];
+    });
+  }
+  return out;
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits,
+                           const std::vector<int>& labels,
+                           Tensor* probs_out) {
+  HG_CHECK_EQ(logits.rank(), 2);
+  const int n = logits.dim(0), classes = logits.dim(1);
+  HG_CHECK_EQ(static_cast<size_t>(n), labels.size());
+  const bool rg = logits.requires_grad();
+  Tensor out = Tensor::MakeNode({1}, rg, {logits});
+  auto probs = std::make_shared<std::vector<float>>(logits.data().size());
+  float loss = 0.0f;
+  for (int r = 0; r < n; ++r) {
+    const float* in = logits.data().data() + static_cast<size_t>(r) * classes;
+    float* p = probs->data() + static_cast<size_t>(r) * classes;
+    float mx = in[0];
+    for (int c = 1; c < classes; ++c) mx = std::max(mx, in[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < classes; ++c) {
+      p[c] = std::exp(in[c] - mx);
+      denom += p[c];
+    }
+    for (int c = 0; c < classes; ++c) p[c] /= denom;
+    HG_CHECK(labels[static_cast<size_t>(r)] >= 0 &&
+             labels[static_cast<size_t>(r)] < classes);
+    loss -= std::log(std::max(p[labels[static_cast<size_t>(r)]], 1e-12f));
+  }
+  out.data()[0] = loss / static_cast<float>(n);
+  if (probs_out != nullptr) {
+    *probs_out = Tensor::FromVector({n, classes}, *probs);
+  }
+  if (rg) {
+    Impl li = logits.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([li, oi, probs, labels, n, classes]() {
+      li->EnsureGrad();
+      const float g = oi->grad[0] / static_cast<float>(n);
+      for (int r = 0; r < n; ++r) {
+        const float* p = probs->data() + static_cast<size_t>(r) * classes;
+        float* gl = li->grad.data() + static_cast<size_t>(r) * classes;
+        for (int c = 0; c < classes; ++c) {
+          const float onehot =
+              (c == labels[static_cast<size_t>(r)]) ? 1.0f : 0.0f;
+          gl[c] += g * (p[c] - onehot);
+        }
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,152 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "core/logging.h"
+
+namespace hiergat {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int d : shape) n *= d;
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
+  return Full(shape, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
+  auto impl = std::make_shared<internal_tensor::TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(NumElements(shape)), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
+                          bool requires_grad) {
+  HG_CHECK_EQ(NumElements(shape), static_cast<int64_t>(values.size()))
+      << "shape " << ShapeToString(shape);
+  auto impl = std::make_shared<internal_tensor::TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng& rng, float stddev,
+                     bool requires_grad) {
+  Tensor t = Zeros(shape, requires_grad);
+  for (float& v : t.data()) v = rng.NextGaussian() * stddev;
+  return t;
+}
+
+Tensor Tensor::Uniform(const Shape& shape, Rng& rng, float lo, float hi,
+                       bool requires_grad) {
+  Tensor t = Zeros(shape, requires_grad);
+  for (float& v : t.data()) v = rng.NextFloat(lo, hi);
+  return t;
+}
+
+Tensor Tensor::Xavier(int fan_in, int fan_out, Rng& rng, bool requires_grad) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Uniform({fan_in, fan_out}, rng, -limit, limit, requires_grad);
+}
+
+float Tensor::item() const {
+  HG_CHECK_EQ(numel(), 1) << "item() requires a scalar tensor";
+  return impl_->data[0];
+}
+
+void Tensor::Backward() {
+  HG_CHECK(defined());
+  HG_CHECK_EQ(numel(), 1) << "Backward() must start from a scalar";
+
+  // Topologically order the graph (parents before children is not needed;
+  // we need reverse order of a DFS post-order: children first).
+  std::vector<internal_tensor::TensorImpl*> order;
+  std::unordered_set<internal_tensor::TensorImpl*> visited;
+  std::vector<std::pair<internal_tensor::TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      internal_tensor::TensorImpl* parent =
+          node->parents[next_child++].get();
+      if (parent->requires_grad && !visited.count(parent)) {
+        visited.insert(parent);
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // `order` is post-order (leaves first); traverse in reverse so each
+  // node's gradient is complete before it propagates to parents.
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    internal_tensor::TensorImpl* node = *it;
+    if (node->backward_fn) node->backward_fn();
+  }
+}
+
+void Tensor::ZeroGrad() {
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<internal_tensor::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+std::string Tensor::DebugString() const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape()) << " [";
+  const int64_t n = std::min<int64_t>(numel(), 8);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) out << ", ";
+    out << impl_->data[static_cast<size_t>(i)];
+  }
+  if (numel() > n) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+Tensor Tensor::MakeNode(Shape shape, bool requires_grad,
+                        std::vector<Tensor> parents) {
+  auto impl = std::make_shared<internal_tensor::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(static_cast<size_t>(NumElements(impl->shape)), 0.0f);
+  impl->requires_grad = requires_grad;
+  if (requires_grad) {
+    impl->parents.reserve(parents.size());
+    for (const Tensor& p : parents) impl->parents.push_back(p.impl());
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace hiergat

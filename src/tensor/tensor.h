@@ -1,0 +1,138 @@
+#ifndef HIERGAT_TENSOR_TENSOR_H_
+#define HIERGAT_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace hiergat {
+
+/// Shape of a dense tensor; rank 1 or 2 in this library (sequences of
+/// token vectors and weight matrices). Higher ranks are not needed: the
+/// models process one variable-length sequence at a time.
+using Shape = std::vector<int>;
+
+/// Number of elements implied by a shape.
+int64_t NumElements(const Shape& shape);
+
+/// Human-readable "[a, b]" rendering of a shape.
+std::string ShapeToString(const Shape& shape);
+
+namespace internal_tensor {
+
+/// Reference-counted tensor storage plus its position in the autograd
+/// graph. Users interact with the `Tensor` handle below.
+struct TensorImpl {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // Allocated lazily on first backward pass.
+  bool requires_grad = false;
+
+  /// Parents in the computation graph (inputs of the op that produced
+  /// this node) and the function that pushes this node's gradient into
+  /// theirs. Empty for leaves.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal_tensor
+
+/// A dense float32 tensor with reverse-mode automatic differentiation.
+///
+/// Tensors are cheap shared handles: copying a Tensor aliases the same
+/// storage. Operations (see ops.h) build a computation graph; calling
+/// Backward() on a scalar result fills the `grad` buffers of every
+/// reachable tensor that has requires_grad set.
+class Tensor {
+ public:
+  /// An empty (null) tensor; defined() is false.
+  Tensor() = default;
+
+  // -- Factories -------------------------------------------------------
+
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value,
+                     bool requires_grad = false);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Randn(const Shape& shape, Rng& rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor Uniform(const Shape& shape, Rng& rng, float lo, float hi,
+                        bool requires_grad = false);
+  /// Xavier/Glorot-uniform initialization for a [fan_in, fan_out] matrix.
+  static Tensor Xavier(int fan_in, int fan_out, Rng& rng,
+                       bool requires_grad = false);
+
+  // -- Introspection ---------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl_->shape; }
+  int dim(int i) const { return impl_->shape[static_cast<size_t>(i)]; }
+  int rank() const { return static_cast<int>(impl_->shape.size()); }
+  int64_t numel() const { return static_cast<int64_t>(impl_->data.size()); }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  /// Mutable/const access to raw storage (row-major).
+  std::vector<float>& data() { return impl_->data; }
+  const std::vector<float>& data() const { return impl_->data; }
+  /// Gradient buffer; empty before the first backward pass.
+  std::vector<float>& grad() { return impl_->grad; }
+  const std::vector<float>& grad() const { return impl_->grad; }
+
+  /// Element access for rank-1 / rank-2 tensors.
+  float at(int i) const { return impl_->data[static_cast<size_t>(i)]; }
+  float at(int r, int c) const {
+    return impl_->data[static_cast<size_t>(r) * dim(1) + c];
+  }
+  void set(int i, float v) { impl_->data[static_cast<size_t>(i)] = v; }
+  void set(int r, int c, float v) {
+    impl_->data[static_cast<size_t>(r) * dim(1) + c] = v;
+  }
+
+  /// Scalar value of a 1-element tensor.
+  float item() const;
+
+  // -- Autograd --------------------------------------------------------
+
+  /// Runs reverse-mode differentiation from this scalar tensor. Seeds
+  /// d(this)/d(this) = 1 and accumulates into grad() of every reachable
+  /// tensor with requires_grad. Aborts if this tensor is not scalar.
+  void Backward();
+
+  /// Clears the gradient buffer (used by optimizers between steps).
+  void ZeroGrad();
+
+  /// Detaches from the autograd graph: returns a new leaf tensor sharing
+  /// a *copy* of the data, with requires_grad = false.
+  Tensor Detach() const;
+
+  std::string DebugString() const;
+
+  // Internal: used by ops.h to build graph nodes.
+  static Tensor MakeNode(Shape shape, bool requires_grad,
+                         std::vector<Tensor> parents);
+  std::shared_ptr<internal_tensor::TensorImpl> impl() const { return impl_; }
+  void set_backward_fn(std::function<void()> fn) {
+    impl_->backward_fn = std::move(fn);
+  }
+
+ private:
+  explicit Tensor(std::shared_ptr<internal_tensor::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+  std::shared_ptr<internal_tensor::TensorImpl> impl_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_TENSOR_TENSOR_H_

@@ -1,0 +1,88 @@
+#include "text/hashed_embeddings.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace hiergat {
+
+namespace {
+
+uint64_t Fnv1a(const char* data, size_t len, uint64_t seed) {
+  uint64_t h = 1469598103934665603ULL ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+float SplitmixToUnitFloat(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  // Map to roughly N(0,1) via sum of 4 uniforms (Irwin-Hall, shifted).
+  float sum = 0.0f;
+  for (int i = 0; i < 4; ++i) {
+    sum += static_cast<float>((z >> (i * 16)) & 0xffff) / 65536.0f;
+  }
+  return (sum - 2.0f) * 1.732f;  // variance ~1
+}
+
+}  // namespace
+
+void HashedEmbeddings::AccumulateNgram(uint64_t hash,
+                                       std::vector<float>* acc) const {
+  uint64_t state = hash;
+  for (int d = 0; d < dim_; ++d) {
+    (*acc)[static_cast<size_t>(d)] += SplitmixToUnitFloat(state);
+  }
+}
+
+std::vector<float> HashedEmbeddings::WordVector(
+    const std::string& word) const {
+  std::vector<float> acc(static_cast<size_t>(dim_), 0.0f);
+  const std::string padded = "<" + word + ">";
+  int count = 0;
+  const int len = static_cast<int>(padded.size());
+  for (int n = min_n_; n <= max_n_; ++n) {
+    for (int start = 0; start + n <= len; ++start) {
+      AccumulateNgram(Fnv1a(padded.data() + start, static_cast<size_t>(n),
+                            seed_ + static_cast<uint64_t>(n)),
+                      &acc);
+      ++count;
+    }
+  }
+  // Include the whole word as its own "n-gram" so exact forms dominate.
+  AccumulateNgram(Fnv1a(padded.data(), padded.size(), seed_ ^ 0xabcdULL),
+                  &acc);
+  ++count;
+  // L2-normalize so token identity is not drowned out by positional
+  // signals or layer scales downstream.
+  double norm_sq = 0.0;
+  for (float v : acc) norm_sq += static_cast<double>(v) * v;
+  const float inv =
+      norm_sq > 0.0 ? static_cast<float>(1.0 / std::sqrt(norm_sq)) : 0.0f;
+  for (float& v : acc) v *= inv;
+  return acc;
+}
+
+float HashedEmbeddings::Similarity(const std::string& a,
+                                   const std::string& b) const {
+  const std::vector<float> va = WordVector(a);
+  const std::vector<float> vb = WordVector(b);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int d = 0; d < dim_; ++d) {
+    dot += static_cast<double>(va[static_cast<size_t>(d)]) *
+           vb[static_cast<size_t>(d)];
+    na += static_cast<double>(va[static_cast<size_t>(d)]) *
+          va[static_cast<size_t>(d)];
+    nb += static_cast<double>(vb[static_cast<size_t>(d)]) *
+          vb[static_cast<size_t>(d)];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace hiergat

@@ -1,0 +1,62 @@
+#include "text/tfidf.h"
+
+#include <cmath>
+
+namespace hiergat {
+
+void TfIdfVectorizer::Fit(
+    const std::vector<std::vector<std::string>>& documents) {
+  term_ids_.clear();
+  std::vector<int> doc_freq;
+  for (const auto& doc : documents) {
+    std::unordered_map<int, bool> seen;
+    for (const std::string& term : doc) {
+      auto [it, inserted] =
+          term_ids_.emplace(term, static_cast<int>(term_ids_.size()));
+      if (inserted) doc_freq.push_back(0);
+      if (!seen.count(it->second)) {
+        seen[it->second] = true;
+        ++doc_freq[static_cast<size_t>(it->second)];
+      }
+    }
+  }
+  const float n = static_cast<float>(documents.size());
+  idf_.resize(doc_freq.size());
+  for (size_t i = 0; i < doc_freq.size(); ++i) {
+    idf_[i] = std::log((1.0f + n) /
+                       (1.0f + static_cast<float>(doc_freq[i]))) +
+              1.0f;
+  }
+}
+
+SparseVector TfIdfVectorizer::Transform(
+    const std::vector<std::string>& tokens) const {
+  SparseVector counts;
+  for (const std::string& term : tokens) {
+    auto it = term_ids_.find(term);
+    if (it != term_ids_.end()) counts[it->second] += 1.0f;
+  }
+  double norm_sq = 0.0;
+  for (auto& [id, tf] : counts) {
+    tf *= idf_[static_cast<size_t>(id)];
+    norm_sq += static_cast<double>(tf) * tf;
+  }
+  if (norm_sq > 0.0) {
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (auto& [id, w] : counts) w *= inv;
+  }
+  return counts;
+}
+
+float TfIdfVectorizer::Cosine(const SparseVector& a, const SparseVector& b) {
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  float dot = 0.0f;
+  for (const auto& [id, w] : small) {
+    auto it = large.find(id);
+    if (it != large.end()) dot += w * it->second;
+  }
+  return dot;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,37 @@
+#ifndef HIERGAT_TEXT_TFIDF_H_
+#define HIERGAT_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hiergat {
+
+/// Sparse TF-IDF document vector: term id -> weight.
+using SparseVector = std::unordered_map<int, float>;
+
+/// TF-IDF vectorizer over tokenized documents. Fit builds the term
+/// dictionary and IDF weights; Transform produces L2-normalized sparse
+/// vectors. Used by the collective-ER blocker (§6.3 uses TF-IDF cosine
+/// to pick the top-N candidates).
+class TfIdfVectorizer {
+ public:
+  /// Learns the dictionary and IDF table from `documents`.
+  void Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// TF-IDF vector of one document (terms unseen at fit time ignored).
+  SparseVector Transform(const std::vector<std::string>& tokens) const;
+
+  /// Cosine similarity of two L2-normalized sparse vectors.
+  static float Cosine(const SparseVector& a, const SparseVector& b);
+
+  int vocabulary_size() const { return static_cast<int>(term_ids_.size()); }
+
+ private:
+  std::unordered_map<std::string, int> term_ids_;
+  std::vector<float> idf_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_TEXT_TFIDF_H_

@@ -1,0 +1,42 @@
+#include "text/vocab.h"
+
+#include "core/logging.h"
+
+namespace hiergat {
+
+Vocabulary::Vocabulary() {
+  for (const char* special :
+       {"[PAD]", "[CLS]", "[SEP]", "[UNK]", "[MASK]"}) {
+    Add(special);
+  }
+}
+
+int Vocabulary::Add(const std::string& token) {
+  auto [it, inserted] = ids_.emplace(token, static_cast<int>(tokens_.size()));
+  if (inserted) tokens_.push_back(token);
+  return it->second;
+}
+
+int Vocabulary::Id(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kUnk : it->second;
+}
+
+bool Vocabulary::Contains(const std::string& token) const {
+  return ids_.count(token) > 0;
+}
+
+const std::string& Vocabulary::Token(int id) const {
+  HG_CHECK(id >= 0 && id < size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+std::vector<int> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& t : tokens) ids.push_back(Id(t));
+  return ids;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,48 @@
+#ifndef HIERGAT_TEXT_VOCAB_H_
+#define HIERGAT_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hiergat {
+
+/// Token -> integer id mapping with the special tokens the transformer
+/// pipeline needs. Unknown tokens map to kUnk at lookup time (but see
+/// HashedEmbeddings, which gives every surface form a distinct vector).
+class Vocabulary {
+ public:
+  static constexpr int kPad = 0;
+  static constexpr int kCls = 1;
+  static constexpr int kSep = 2;
+  static constexpr int kUnk = 3;
+  static constexpr int kMask = 4;
+  static constexpr int kNumSpecial = 5;
+
+  Vocabulary();
+
+  /// Adds `token` if absent; returns its id either way.
+  int Add(const std::string& token);
+
+  /// Id of `token`, or kUnk if absent.
+  int Id(const std::string& token) const;
+
+  /// True if `token` is present.
+  bool Contains(const std::string& token) const;
+
+  /// Surface form of `id`.
+  const std::string& Token(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /// Ids for a token sequence (kUnk for unseen tokens).
+  std::vector<int> Encode(const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_TEXT_VOCAB_H_

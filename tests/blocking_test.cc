@@ -1,0 +1,135 @@
+#include "blocking/blocker.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace hiergat {
+namespace {
+
+Entity Make(const std::string& title) {
+  Entity e;
+  e.Add("title", title);
+  return e;
+}
+
+TEST(KeywordBlockTest, OverlapThreshold) {
+  const std::vector<Entity> a = {Make("red mountain bike"),
+                                 Make("blue road bike")};
+  const std::vector<Entity> b = {Make("red bike for mountain trails"),
+                                 Make("green boat")};
+  const auto candidates = KeywordBlock(a, b, /*min_overlap=*/2);
+  // a0-b0 share {red, mountain, bike} -> kept; everything else pruned.
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], (std::pair<int, int>{0, 0}));
+  // Threshold 1 also admits a1-b0 (shares "bike").
+  const auto loose = KeywordBlock(a, b, 1);
+  EXPECT_EQ(loose.size(), 2u);
+}
+
+TEST(KeywordBlockTest, RecallMetric) {
+  const std::vector<std::pair<int, int>> candidates = {{0, 0}, {1, 1}};
+  const std::vector<std::pair<int, int>> gold = {{0, 0}, {2, 2}};
+  EXPECT_FLOAT_EQ(BlockingRecall(candidates, gold), 0.5f);
+  EXPECT_FLOAT_EQ(BlockingRecall(candidates, {}), 1.0f);
+}
+
+TEST(KeywordBlockTest, PrunesMostPairsOnSyntheticData) {
+  SyntheticSpec spec;
+  spec.name = "b";
+  spec.seed = 61;
+  TwoTableDataset raw = GenerateTwoTable(spec, 30, 90);
+  const auto candidates = KeywordBlock(raw.table_a, raw.table_b, 3);
+  EXPECT_LT(candidates.size(), raw.table_a.size() * raw.table_b.size());
+  // Blocking must keep most gold matches (high recall).
+  EXPECT_GE(BlockingRecall(candidates, raw.matches), 0.9f);
+}
+
+TEST(TfIdfBlockerTest, TopNReturnsSelfmostSimilarFirst) {
+  std::vector<Entity> corpus = {Make("acme widget mk100 deluxe"),
+                                Make("acme widget mk200 deluxe"),
+                                Make("completely different thing"),
+                                Make("acme widget mk100 deluxe edition")};
+  TfIdfBlocker blocker(corpus);
+  const std::vector<int> top =
+      blocker.TopN(Make("acme widget mk100 deluxe"), 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 0);  // Exact-ish match first.
+  EXPECT_EQ(top[1], 3);
+}
+
+TEST(TfIdfBlockerTest, ExcludeRemovesSelf) {
+  std::vector<Entity> corpus = {Make("alpha beta"), Make("alpha beta"),
+                                Make("gamma delta")};
+  TfIdfBlocker blocker(corpus);
+  const std::vector<int> top = blocker.TopN(corpus[0], 2, /*exclude=*/0);
+  for (int idx : top) EXPECT_NE(idx, 0);
+}
+
+TEST(TfIdfBlockerTest, TopNCapsAtCorpusSize) {
+  std::vector<Entity> corpus = {Make("a b"), Make("c d")};
+  TfIdfBlocker blocker(corpus);
+  EXPECT_EQ(blocker.TopN(Make("a"), 10).size(), 2u);
+}
+
+TEST(BuildCollectiveTest, StructureAndLabels) {
+  SyntheticSpec spec;
+  spec.name = "col";
+  spec.seed = 71;
+  TwoTableDataset raw = GenerateTwoTable(spec, 50, 150);
+  CollectiveBuildOptions options;
+  options.top_n = 8;
+  CollectiveDataset data = BuildCollective(raw, options);
+  EXPECT_EQ(data.train.size() + data.valid.size() + data.test.size(), 50u);
+  EXPECT_EQ(data.train.size(), 30u);
+  int positives = 0;
+  for (const auto* split : {&data.train, &data.valid, &data.test}) {
+    for (const CollectiveQuery& q : *split) {
+      EXPECT_EQ(q.candidates.size(), 8u);
+      EXPECT_EQ(q.labels.size(), 8u);
+      for (int label : q.labels) positives += label;
+    }
+  }
+  // TF-IDF top-8 should recover most gold matches as candidates.
+  EXPECT_GE(positives, 40);
+}
+
+TEST(BuildCollectiveTest, SplitBeforeBlockKeepsTestQueriesUnseen) {
+  SyntheticSpec spec;
+  spec.name = "col";
+  spec.seed = 73;
+  TwoTableDataset raw = GenerateTwoTable(spec, 40, 120);
+  CollectiveDataset data = BuildCollective(raw, CollectiveBuildOptions{});
+  std::set<std::string> train_queries;
+  for (const CollectiveQuery& q : data.train) {
+    train_queries.insert(q.query.Serialize());
+  }
+  for (const CollectiveQuery& q : data.test) {
+    EXPECT_FALSE(train_queries.count(q.query.Serialize()))
+        << "§6.3: test queries must not appear in training";
+  }
+}
+
+TEST(BuildCollectiveTest, MultiSourceLabelsFollowClusters) {
+  MultiSourceDataset raw = GenerateMultiSource("monitor", 5, 40, 81);
+  CollectiveBuildOptions options;
+  options.top_n = 10;
+  CollectiveDataset data = BuildCollectiveFromMultiSource(raw, options);
+  int positives = 0, total = 0;
+  for (const auto* split : {&data.train, &data.valid, &data.test}) {
+    for (const CollectiveQuery& q : *split) {
+      EXPECT_LE(q.candidates.size(), 10u);
+      for (int label : q.labels) {
+        positives += label;
+        ++total;
+      }
+    }
+  }
+  EXPECT_GT(positives, 0);
+  EXPECT_LT(positives, total);
+}
+
+}  // namespace
+}  // namespace hiergat

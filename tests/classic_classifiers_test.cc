@@ -1,0 +1,127 @@
+#include "er/baselines/classic_classifiers.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace hiergat {
+namespace {
+
+/// Linearly separable blobs: class 1 around (1,1), class 0 around (-1,-1).
+void MakeBlobs(int n, std::vector<std::vector<float>>* x,
+               std::vector<int>* y, uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const int label = i % 2;
+    const float cx = label == 1 ? 1.0f : -1.0f;
+    x->push_back({cx + rng.NextGaussian() * 0.3f,
+                  cx + rng.NextGaussian() * 0.3f});
+    y->push_back(label);
+  }
+}
+
+/// XOR-ish data only trees can fit: label = (x0 > 0) != (x1 > 0).
+void MakeXor(int n, std::vector<std::vector<float>>* x, std::vector<int>* y,
+             uint64_t seed) {
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const float a = rng.NextFloat(-1, 1);
+    const float b = rng.NextFloat(-1, 1);
+    x->push_back({a, b});
+    y->push_back((a > 0) != (b > 0) ? 1 : 0);
+  }
+}
+
+float Accuracy(const ClassicClassifier& model,
+               const std::vector<std::vector<float>>& x,
+               const std::vector<int>& y) {
+  int correct = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const int predicted = model.PredictProbability(x[i]) >= 0.5f ? 1 : 0;
+    correct += predicted == y[i] ? 1 : 0;
+  }
+  return static_cast<float>(correct) / static_cast<float>(x.size());
+}
+
+class LinearSeparableTest
+    : public ::testing::TestWithParam<LinearModel::Loss> {};
+
+TEST_P(LinearSeparableTest, FitsBlobs) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  MakeBlobs(200, &x, &y, 7);
+  LinearModel model(GetParam(), 0.1f, 80, 1e-4f, 3);
+  model.Fit(x, y);
+  EXPECT_GT(Accuracy(model, x, y), 0.95f) << model.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLosses, LinearSeparableTest,
+                         ::testing::Values(LinearModel::Loss::kLogistic,
+                                           LinearModel::Loss::kHinge,
+                                           LinearModel::Loss::kSquared));
+
+TEST(DecisionTreeTest, FitsBlobs) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  MakeBlobs(200, &x, &y, 11);
+  DecisionTree tree(6, 2, 1);
+  tree.Fit(x, y);
+  EXPECT_GT(Accuracy(tree, x, y), 0.95f);
+}
+
+TEST(DecisionTreeTest, FitsXorWhereLinearFails) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  MakeXor(400, &x, &y, 13);
+  DecisionTree tree(6, 2, 1);
+  tree.Fit(x, y);
+  EXPECT_GT(Accuracy(tree, x, y), 0.9f);
+  LinearModel logistic(LinearModel::Loss::kLogistic, 0.1f, 80, 1e-4f, 5);
+  logistic.Fit(x, y);
+  EXPECT_LT(Accuracy(logistic, x, y), 0.75f)
+      << "XOR is not linearly separable";
+}
+
+TEST(DecisionTreeTest, DepthLimitControlsComplexity) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  MakeXor(400, &x, &y, 17);
+  DecisionTree stump(1, 2, 1);
+  stump.Fit(x, y);
+  DecisionTree deep(8, 2, 1);
+  deep.Fit(x, y);
+  EXPECT_GT(Accuracy(deep, x, y), Accuracy(stump, x, y));
+}
+
+TEST(RandomForestTest, FitsXorAndSmoothsProbabilities) {
+  std::vector<std::vector<float>> x;
+  std::vector<int> y;
+  MakeXor(400, &x, &y, 19);
+  RandomForest forest(12, 8, 23);
+  forest.Fit(x, y);
+  EXPECT_GT(Accuracy(forest, x, y), 0.85f);
+  // Probabilities are ensemble averages, not only 0/1.
+  bool non_extreme = false;
+  for (size_t i = 0; i < 30; ++i) {
+    const float p = forest.PredictProbability(x[i]);
+    if (p > 0.05f && p < 0.95f) non_extreme = true;
+  }
+  EXPECT_TRUE(non_extreme);
+}
+
+TEST(ClassifierNamesTest, AllDistinct) {
+  DecisionTree t;
+  RandomForest f;
+  LinearModel svm(LinearModel::Loss::kHinge);
+  LinearModel lr(LinearModel::Loss::kLogistic);
+  LinearModel sq(LinearModel::Loss::kSquared);
+  std::set<std::string> names = {t.name(), f.name(), svm.name(), lr.name(),
+                                 sq.name()};
+  EXPECT_EQ(names.size(), 5u);
+}
+
+}  // namespace
+}  // namespace hiergat

@@ -1,0 +1,195 @@
+// Property-based verification of every differentiable op against
+// central finite differences (the library's correctness backbone).
+
+#include "tensor/gradcheck.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace hiergat {
+namespace {
+
+Tensor RandomInput(const Shape& shape, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn(shape, rng, 0.8f, /*requires_grad=*/true);
+}
+
+void ExpectGradOk(
+    const std::function<Tensor(const std::vector<Tensor>&)>& forward,
+    std::vector<Tensor> inputs, float tolerance = 2e-2f) {
+  GradCheckResult result =
+      CheckGradients(forward, inputs, 1e-2f, tolerance);
+  EXPECT_TRUE(result.passed)
+      << "max_rel_error=" << result.max_rel_error
+      << " worst_input=" << result.worst_input
+      << " worst_element=" << result.worst_element;
+}
+
+TEST(GradCheck, Add) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Add(in[0], in[1])); },
+      {RandomInput({3, 4}, 1), RandomInput({3, 4}, 2)});
+}
+
+TEST(GradCheck, AddBiasBroadcast) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) { return Sum(Add(in[0], in[1])); },
+      {RandomInput({3, 4}, 3), RandomInput({4}, 4)});
+}
+
+TEST(GradCheck, MulAndScale) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Scale(Mul(in[0], in[1]), 1.7f));
+      },
+      {RandomInput({2, 3}, 5), RandomInput({2, 3}, 6)});
+}
+
+TEST(GradCheck, MatMul) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Sum(MatMul(in[0], in[1]));
+      },
+      {RandomInput({3, 4}, 7), RandomInput({4, 2}, 8)});
+}
+
+TEST(GradCheck, MatMulChainWithTranspose) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Sum(MatMul(in[0], Transpose(in[1])));
+      },
+      {RandomInput({2, 3}, 9), RandomInput({4, 3}, 10)});
+}
+
+TEST(GradCheck, ConcatRowsAndCols) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor rows = ConcatRows({in[0], in[1]});
+        Tensor cols = ConcatCols({rows, in[2]});
+        return Sum(Mul(cols, cols));
+      },
+      {RandomInput({2, 3}, 11), RandomInput({1, 3}, 12),
+       RandomInput({3, 2}, 13)});
+}
+
+TEST(GradCheck, SliceRowsAndCols) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor a = SliceRows(in[0], 1, 3);
+        Tensor b = SliceCols(a, 0, 2);
+        return Sum(Mul(b, b));
+      },
+      {RandomInput({4, 3}, 14)});
+}
+
+TEST(GradCheck, GatherRows) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor g = GatherRows(in[0], {0, 2, 2, 1});
+        return Sum(Mul(g, g));
+      },
+      {RandomInput({3, 3}, 15)});
+}
+
+TEST(GradCheck, Softmax) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor s = Softmax(in[0]);
+        // Non-uniform downstream weights exercise the full Jacobian.
+        Tensor w = Tensor::FromVector({2, 3}, {1, -2, 3, 0.5, 2, -1});
+        return Sum(Mul(s, w));
+      },
+      {RandomInput({2, 3}, 16)});
+}
+
+TEST(GradCheck, Activations) {
+  for (uint64_t seed : {17u, 18u}) {
+    ExpectGradOk(
+        [](const std::vector<Tensor>& in) {
+          Tensor h = Tanh(in[0]);
+          h = Add(h, Sigmoid(in[0]));
+          h = Add(h, LeakyRelu(in[0], 0.2f));
+          h = Add(h, Gelu(in[0]));
+          return Sum(Mul(h, h));
+        },
+        {RandomInput({3, 3}, seed)});
+  }
+}
+
+TEST(GradCheck, ExpLog) {
+  // Keep inputs positive for Log.
+  Rng rng(19);
+  Tensor x = Tensor::Uniform({2, 3}, rng, 0.5f, 2.0f, true);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Add(Log(in[0]), Exp(Scale(in[0], 0.3f))));
+      },
+      {x});
+}
+
+TEST(GradCheck, Reductions) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor m = MeanRows(in[0]);
+        Tensor s = SumRows(in[0]);
+        return Add(Mean(in[0]), Sum(Mul(m, s)));
+      },
+      {RandomInput({3, 4}, 20)});
+}
+
+TEST(GradCheck, LayerNorm) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor y = LayerNorm(in[0], in[1], in[2]);
+        Tensor w = Tensor::FromVector({2, 4},
+                                      {1, -1, 2, 0.5, -2, 1, 0.3, 1});
+        return Sum(Mul(y, w));
+      },
+      {RandomInput({2, 4}, 21), RandomInput({4}, 22), RandomInput({4}, 23)},
+      /*tolerance=*/5e-2f);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return SoftmaxCrossEntropy(in[0], {1, 0, 1});
+      },
+      {RandomInput({3, 2}, 24)});
+}
+
+TEST(GradCheck, AttentionComposite) {
+  // A miniature scaled-dot-product attention: the composite exercises
+  // MatMul + Softmax + Transpose in the exact pattern the models use.
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor scores = Scale(MatMul(in[0], Transpose(in[1])), 0.5f);
+        Tensor attn = Softmax(scores);
+        Tensor out = MatMul(attn, in[2]);
+        return Sum(Mul(out, out));
+      },
+      {RandomInput({3, 4}, 25), RandomInput({3, 4}, 26),
+       RandomInput({3, 4}, 27)},
+      /*tolerance=*/5e-2f);
+}
+
+// Parameterized sweep: Sum of elementwise composite over many shapes.
+class GradCheckShapes : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(GradCheckShapes, CompositeElementwise) {
+  const Shape shape = GetParam();
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor h = Mul(Tanh(in[0]), Sigmoid(in[0]));
+        return Sum(Mul(h, h));
+      },
+      {RandomInput(shape, 31 + static_cast<uint64_t>(shape[0]))});
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GradCheckShapes,
+                         ::testing::Values(Shape{1, 1}, Shape{1, 7},
+                                           Shape{5, 1}, Shape{4, 4},
+                                           Shape{2, 9}, Shape{8, 3}));
+
+}  // namespace
+}  // namespace hiergat

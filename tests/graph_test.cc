@@ -1,0 +1,115 @@
+#include "graph/hhg.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace hiergat {
+namespace {
+
+Entity MakeEntity(const std::string& title, const std::string& desc) {
+  Entity e;
+  e.Add("title", title);
+  e.Add("desc", desc);
+  return e;
+}
+
+TEST(HhgTest, FigureFourStructure) {
+  // Mirrors Figure 4: distinct tokens merge; attribute keys do not.
+  Entity e1 = MakeEntity("spark framework", "big data framework");
+  Entity e2 = MakeEntity("adobe spark", "design framework");
+  const Hhg hhg = Hhg::Build({e1, e2});
+
+  EXPECT_EQ(hhg.num_entities(), 2);
+  EXPECT_EQ(hhg.num_attributes(), 4);  // 2 per entity; "desc" repeats.
+  // Unique tokens: spark framework big data adobe design = 6.
+  EXPECT_EQ(hhg.num_tokens(), 6);
+
+  // "framework" is a single node adjacent to 3 attributes.
+  int framework = -1;
+  for (int t = 0; t < hhg.num_tokens(); ++t) {
+    if (hhg.token(t) == "framework") framework = t;
+  }
+  ASSERT_GE(framework, 0);
+  EXPECT_EQ(hhg.token_to_attributes()[framework].size(), 3u);
+
+  // Key groups: title and desc, each with two attribute nodes.
+  ASSERT_EQ(hhg.key_groups().size(), 2u);
+  for (const auto& [key, attrs] : hhg.key_groups()) {
+    EXPECT_EQ(attrs.size(), 2u) << key;
+  }
+}
+
+TEST(HhgTest, TokenOrderPreservedWithinAttribute) {
+  Entity e = MakeEntity("alpha beta alpha", "x");
+  const Hhg hhg = Hhg::Build({e});
+  const auto& seq = hhg.attribute(0).token_seq;
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(hhg.token(seq[0]), "alpha");
+  EXPECT_EQ(hhg.token(seq[1]), "beta");
+  EXPECT_EQ(seq[0], seq[2]) << "repeated word maps to the same node";
+}
+
+TEST(HhgTest, CommonTokensRequireTwoEntities) {
+  Entity e1 = MakeEntity("shared unique1", "a");
+  Entity e2 = MakeEntity("shared unique2", "b");
+  const Hhg hhg = Hhg::Build({e1, e2});
+  const std::vector<int>& common = hhg.common_tokens();
+  ASSERT_EQ(common.size(), 1u);
+  EXPECT_EQ(hhg.token(common[0]), "shared");
+}
+
+TEST(HhgTest, TokenRepeatedWithinOneEntityIsNotCommon) {
+  Entity e1 = MakeEntity("dup dup", "dup");
+  Entity e2 = MakeEntity("other", "thing");
+  const Hhg hhg = Hhg::Build({e1, e2});
+  EXPECT_TRUE(hhg.common_tokens().empty());
+}
+
+TEST(HhgTest, CommonTokensForKeyGroupRespectsCap) {
+  Entity e1 = MakeEntity("a b c d e f", "x");
+  Entity e2 = MakeEntity("a b c d e f", "y");
+  const Hhg hhg = Hhg::Build({e1, e2});
+  // Group 0 is "title"; all 6 shared tokens are common.
+  EXPECT_EQ(hhg.CommonTokensForKeyGroup(0, 10).size(), 6u);
+  EXPECT_EQ(hhg.CommonTokensForKeyGroup(0, 3).size(), 3u);
+  // Group 1 ("desc") has no common tokens.
+  EXPECT_TRUE(hhg.CommonTokensForKeyGroup(1, 10).empty());
+}
+
+TEST(HhgTest, RelatedEntitiesViaCommonTokens) {
+  Entity q = MakeEntity("acme widget", "base");
+  Entity c1 = MakeEntity("acme gadget", "other");   // Shares "acme".
+  Entity c2 = MakeEntity("unrelated thing", "foo"); // Shares nothing.
+  const Hhg hhg = Hhg::Build({q, c1, c2});
+  const std::vector<int> related = hhg.RelatedEntities(0);
+  EXPECT_EQ(related, std::vector<int>{1});
+  EXPECT_EQ(hhg.RelatedEntities(2), std::vector<int>{});
+}
+
+TEST(HhgTest, CollectiveGraphHoldsQueryPlusCandidates) {
+  std::vector<Entity> entities;
+  for (int i = 0; i < 5; ++i) {
+    entities.push_back(
+        MakeEntity("product " + std::to_string(i), "desc " + std::to_string(i)));
+  }
+  const Hhg hhg = Hhg::Build(entities);
+  EXPECT_EQ(hhg.num_entities(), 5);
+  // "product" and "desc" appear in all entities -> common.
+  EXPECT_EQ(hhg.common_tokens().size(), 2u);
+  for (int e = 0; e < 5; ++e) {
+    EXPECT_EQ(hhg.entity(e).attributes.size(), 2u);
+    EXPECT_EQ(hhg.RelatedEntities(e).size(), 4u);
+  }
+}
+
+TEST(HhgTest, MissingValueStillTokenizes) {
+  Entity e;
+  e.Add("title", kMissingValue);
+  const Hhg hhg = Hhg::Build({e});
+  ASSERT_EQ(hhg.num_tokens(), 1);
+  EXPECT_EQ(hhg.token(0), "nan");
+}
+
+}  // namespace
+}  // namespace hiergat

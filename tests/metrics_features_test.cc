@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "er/baselines/similarity_features.h"
+#include "er/metrics.h"
+
+namespace hiergat {
+namespace {
+
+TEST(MetricsTest, PerfectPredictions) {
+  const EvalResult r = ComputeMetrics({0.9f, 0.1f, 0.8f}, {1, 0, 1});
+  EXPECT_FLOAT_EQ(r.precision, 1.0f);
+  EXPECT_FLOAT_EQ(r.recall, 1.0f);
+  EXPECT_FLOAT_EQ(r.f1, 1.0f);
+}
+
+TEST(MetricsTest, MixedPredictions) {
+  // TP=1 (0.9/1), FP=1 (0.7/0), FN=1 (0.2/1), TN=1 (0.1/0).
+  const EvalResult r =
+      ComputeMetrics({0.9f, 0.7f, 0.2f, 0.1f}, {1, 0, 1, 0});
+  EXPECT_FLOAT_EQ(r.precision, 0.5f);
+  EXPECT_FLOAT_EQ(r.recall, 0.5f);
+  EXPECT_FLOAT_EQ(r.f1, 0.5f);
+}
+
+TEST(MetricsTest, NoPositivePredictionsGivesZeroF1) {
+  const EvalResult r = ComputeMetrics({0.1f, 0.2f}, {1, 1});
+  EXPECT_FLOAT_EQ(r.f1, 0.0f);
+  EXPECT_EQ(r.false_negatives, 2);
+}
+
+TEST(MetricsTest, ThresholdMatters) {
+  const EvalResult strict = ComputeMetrics({0.6f}, {1}, 0.7f);
+  EXPECT_EQ(strict.true_positives, 0);
+  const EvalResult loose = ComputeMetrics({0.6f}, {1}, 0.5f);
+  EXPECT_EQ(loose.true_positives, 1);
+}
+
+TEST(SimilarityTest, Jaccard) {
+  EXPECT_FLOAT_EQ(JaccardSimilarity({"a", "b"}, {"a", "b"}), 1.0f);
+  EXPECT_FLOAT_EQ(JaccardSimilarity({"a", "b"}, {"b", "c"}), 1.0f / 3.0f);
+  EXPECT_FLOAT_EQ(JaccardSimilarity({"a"}, {"b"}), 0.0f);
+  EXPECT_FLOAT_EQ(JaccardSimilarity({}, {}), 1.0f);
+  // Duplicates collapse to sets.
+  EXPECT_FLOAT_EQ(JaccardSimilarity({"a", "a"}, {"a"}), 1.0f);
+}
+
+TEST(SimilarityTest, OverlapCoefficient) {
+  EXPECT_FLOAT_EQ(OverlapCoefficient({"a", "b", "c"}, {"a"}), 1.0f);
+  EXPECT_FLOAT_EQ(OverlapCoefficient({"a", "b"}, {"b", "c"}), 0.5f);
+  EXPECT_FLOAT_EQ(OverlapCoefficient({}, {"a"}), 0.0f);
+}
+
+TEST(SimilarityTest, TokenCosine) {
+  EXPECT_NEAR(TokenCosineSimilarity({"a", "b"}, {"a", "b"}), 1.0f, 1e-5f);
+  EXPECT_NEAR(TokenCosineSimilarity({"a"}, {"b"}), 0.0f, 1e-5f);
+  // Repetition changes the count vector.
+  EXPECT_GT(TokenCosineSimilarity({"a", "a", "b"}, {"a", "a", "c"}),
+            TokenCosineSimilarity({"a", "b"}, {"a", "c"}));
+}
+
+TEST(SimilarityTest, Levenshtein) {
+  EXPECT_FLOAT_EQ(LevenshteinSimilarity("abc", "abc"), 1.0f);
+  EXPECT_FLOAT_EQ(LevenshteinSimilarity("abc", "abd"), 2.0f / 3.0f);
+  EXPECT_FLOAT_EQ(LevenshteinSimilarity("", ""), 1.0f);
+  EXPECT_FLOAT_EQ(LevenshteinSimilarity("abc", ""), 0.0f);
+  EXPECT_GT(LevenshteinSimilarity("kitten", "sitten"),
+            LevenshteinSimilarity("kitten", "xyz"));
+}
+
+TEST(SimilarityTest, Numeric) {
+  EXPECT_FLOAT_EQ(NumericSimilarity("100", "100"), 1.0f);
+  EXPECT_NEAR(NumericSimilarity("100", "90"), 0.9f, 1e-5f);
+  EXPECT_FLOAT_EQ(NumericSimilarity("abc", "100"), 0.0f);
+  EXPECT_FLOAT_EQ(NumericSimilarity("", ""), 0.0f);
+  EXPECT_FLOAT_EQ(NumericSimilarity("0", "0"), 1.0f);
+}
+
+TEST(PairFeaturesTest, WidthMatchesSchema) {
+  EntityPair pair;
+  pair.left.Add("title", "acme widget x100");
+  pair.left.Add("price", "25");
+  pair.right.Add("title", "acme widget x100 pro");
+  pair.right.Add("price", "27");
+  const std::vector<float> features = PairFeatures(pair);
+  EXPECT_EQ(static_cast<int>(features.size()), PairFeatureCount(2));
+  for (float f : features) {
+    EXPECT_GE(f, -1.0f);
+    EXPECT_LE(f, 1.5f);
+  }
+}
+
+TEST(PairFeaturesTest, IdenticalPairScoresHigherThanDisjoint) {
+  EntityPair same;
+  same.left.Add("title", "alpha beta gamma");
+  same.right.Add("title", "alpha beta gamma");
+  EntityPair different;
+  different.left.Add("title", "alpha beta gamma");
+  different.right.Add("title", "delta epsilon zeta");
+  const auto fs = PairFeatures(same);
+  const auto fd = PairFeatures(different);
+  float sum_same = 0, sum_diff = 0;
+  for (float f : fs) sum_same += f;
+  for (float f : fd) sum_diff += f;
+  EXPECT_GT(sum_same, sum_diff);
+}
+
+}  // namespace
+}  // namespace hiergat

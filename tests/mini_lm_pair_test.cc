@@ -1,0 +1,147 @@
+// Tests for the MiniLM pair machinery that the transformer matchers
+// rely on: segment embeddings, sentence-pair pre-training, zero-shot
+// pair logits, and fine-tune parameter selection.
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "text/mini_lm.h"
+#include "tensor/ops.h"
+
+namespace hiergat {
+namespace {
+
+class MiniLmPairFixture : public ::testing::Test {
+ protected:
+  MiniLmPairFixture() {
+    for (int w = 0; w < 200; ++w) {
+      vocab_.Add("word" + std::to_string(w));
+    }
+    lm_ = std::make_unique<MiniLm>(LmSize::kSmall, &vocab_, 77);
+  }
+
+  std::vector<std::vector<int>> MakeCorpus(int sentences, int length) {
+    Rng rng(3);
+    std::vector<std::vector<int>> corpus;
+    for (int s = 0; s < sentences; ++s) {
+      std::vector<int> sentence;
+      for (int t = 0; t < length; ++t) {
+        sentence.push_back(Vocabulary::kNumSpecial +
+                           static_cast<int>(rng.NextUint64(200)));
+      }
+      corpus.push_back(std::move(sentence));
+    }
+    return corpus;
+  }
+
+  Vocabulary vocab_;
+  std::unique_ptr<MiniLm> lm_;
+  Rng rng_{11};
+};
+
+TEST_F(MiniLmPairFixture, SegmentsChangeTheEncoding) {
+  const std::vector<int> ids = {Vocabulary::kCls, 6, 7, Vocabulary::kSep,
+                                6, 7, Vocabulary::kSep};
+  Tensor a = lm_->EncodePair(ids, {0, 0, 0, 0, 1, 1, 1}, false, rng_);
+  Tensor b = lm_->EncodePair(ids, {0, 0, 0, 0, 0, 0, 0}, false, rng_);
+  float diff = 0.0f;
+  for (size_t i = 0; i < a.data().size(); ++i) {
+    diff += std::abs(a.data()[i] - b.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4f) << "segment ids must influence the encoding";
+}
+
+TEST_F(MiniLmPairFixture, AddSegmentsShape) {
+  Tensor embedded = lm_->Embed({5, 6, 7});
+  Tensor with_segments = lm_->AddSegments(embedded, {0, 1, 1});
+  EXPECT_EQ(with_segments.shape(), embedded.shape());
+}
+
+TEST_F(MiniLmPairFixture, PairLogitsShapeAndDeterminism) {
+  const std::vector<int> ids = {Vocabulary::kCls, 6, Vocabulary::kSep, 6,
+                                Vocabulary::kSep};
+  const std::vector<int> segments = {0, 0, 0, 1, 1};
+  Tensor logits = lm_->PairLogits(ids, segments, false, rng_);
+  EXPECT_EQ(logits.dim(0), 1);
+  EXPECT_EQ(logits.dim(1), 2);
+  Tensor again = lm_->PairLogits(ids, segments, false, rng_);
+  EXPECT_EQ(logits.data(), again.data());
+}
+
+TEST_F(MiniLmPairFixture, PairedPretrainingLearnsSameVsDifferent) {
+  const auto corpus = MakeCorpus(40, 8);
+  Rng rng(5);
+  const float early = lm_->PretrainPaired(corpus, 400, 1e-3f, rng);
+  lm_->PretrainPaired(corpus, 3000, 1e-3f, rng);
+  const float late = lm_->PretrainPaired(corpus, 3000, 1e-3f, rng);
+  EXPECT_LT(late, early)
+      << "pair loss must fall as matching circuits form";
+  EXPECT_LT(late, 0.66f) << "must beat the 0.693 chance level";
+}
+
+TEST_F(MiniLmPairFixture, FineTuneParametersExcludeTableWhenAsked) {
+  const auto with_table = lm_->FineTuneParameters(true);
+  const auto without_table = lm_->FineTuneParameters(false);
+  EXPECT_EQ(with_table.size(), without_table.size() + 1);
+  // The token table is the largest tensor; it must be the one excluded.
+  int64_t with_count = 0, without_count = 0;
+  for (const Tensor& t : with_table) with_count += t.numel();
+  for (const Tensor& t : without_table) without_count += t.numel();
+  EXPECT_EQ(with_count - without_count,
+            static_cast<int64_t>(vocab_.size()) * lm_->dim());
+}
+
+TEST_F(MiniLmPairFixture, ParametersIncludeSegmentTable) {
+  // Parameters() == FineTuneParameters(true); sanity: optimizing them
+  // changes the segment encoding.
+  std::vector<Tensor> params = lm_->Parameters();
+  Adam adam(params, 1e-2f);
+  const std::vector<int> ids = {Vocabulary::kCls, 6, Vocabulary::kSep, 7,
+                                Vocabulary::kSep};
+  const std::vector<int> segments = {0, 0, 0, 1, 1};
+  Tensor before = lm_->EncodePair(ids, segments, false, rng_);
+  for (int step = 0; step < 3; ++step) {
+    adam.ZeroGrad();
+    Tensor out = lm_->EncodePair(ids, segments, true, rng_);
+    Sum(Mul(out, out)).Backward();
+    adam.Step();
+  }
+  Tensor after = lm_->EncodePair(ids, segments, false, rng_);
+  EXPECT_NE(before.data(), after.data());
+}
+
+TEST(AdamMultiplierTest, ZeroMultiplierFreezesParameter) {
+  Rng rng(1);
+  Tensor frozen = Tensor::Randn({4}, rng, 1.0f, true);
+  Tensor live = Tensor::Randn({4}, rng, 1.0f, true);
+  const std::vector<float> frozen_before = frozen.data();
+  Adam adam({frozen, live}, 0.1f);
+  adam.SetLrMultipliers({0.0f, 1.0f});
+  for (int step = 0; step < 5; ++step) {
+    adam.ZeroGrad();
+    Sum(Add(Mul(frozen, frozen), Mul(live, live))).Backward();
+    adam.Step();
+  }
+  EXPECT_EQ(frozen.data(), frozen_before);
+  EXPECT_NE(live.data(), frozen_before);
+}
+
+TEST(AdamMultiplierTest, SmallMultiplierMovesLess) {
+  Rng rng(2);
+  Tensor slow = Tensor::Full({1}, 1.0f, true);
+  Tensor fast = Tensor::Full({1}, 1.0f, true);
+  Adam adam({slow, fast}, 0.05f);
+  adam.SetLrMultipliers({0.1f, 1.0f});
+  for (int step = 0; step < 10; ++step) {
+    adam.ZeroGrad();
+    Sum(Add(Mul(slow, slow), Mul(fast, fast))).Backward();
+    adam.Step();
+  }
+  EXPECT_GT(std::abs(slow.at(0) - 1.0f) * 5.0f,
+            0.0f);  // It does move...
+  EXPECT_LT(std::abs(slow.at(0) - 1.0f),
+            std::abs(fast.at(0) - 1.0f));  // ...but less than fast.
+}
+
+}  // namespace
+}  // namespace hiergat

@@ -1,0 +1,196 @@
+// End-to-end smoke tests: every pairwise matcher must learn a small
+// synthetic benchmark well above chance, and the HierGAT-specific
+// machinery (attention report, ablations) must behave.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "er/baselines/deepmatcher.h"
+#include "er/baselines/ditto.h"
+#include "er/baselines/magellan.h"
+#include "er/hiergat.h"
+
+namespace hiergat {
+namespace {
+
+PairDataset SmallDataset(uint64_t seed = 301, bool easy = true) {
+  SyntheticSpec spec;
+  spec.name = "smoke";
+  spec.num_pairs = 300;
+  spec.positive_ratio = 0.3f;
+  spec.num_attributes = 3;
+  spec.hardness = easy ? 0.4f : 0.9f;
+  spec.noise = 0.05f;
+  spec.desc_len = 8;
+  spec.seed = seed;
+  return GeneratePairDataset(spec);
+}
+
+TrainOptions FastOptions() {
+  TrainOptions options;
+  options.epochs = 8;
+  options.lr = 2e-3f;
+  options.batch_size = 16;
+  options.seed = 7;
+  return options;
+}
+
+TEST(MagellanTest, LearnsSmallBenchmark) {
+  PairDataset data = SmallDataset();
+  MagellanModel model;
+  model.Train(data, FastOptions());
+  EXPECT_FALSE(model.selected_classifier().empty());
+  const EvalResult result = model.Evaluate(data.test);
+  EXPECT_GT(result.f1, 0.55f) << result.ToString();
+}
+
+TEST(MagellanTest, PredictionsAreProbabilities) {
+  PairDataset data = SmallDataset(33);
+  MagellanModel model;
+  model.Train(data, FastOptions());
+  for (const EntityPair& pair : data.test) {
+    const float p = model.PredictProbability(pair);
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(DeepMatcherTest, LearnsSmallBenchmark) {
+  PairDataset data = SmallDataset();
+  DeepMatcherConfig config;
+  DeepMatcherModel model(config);
+  TrainOptions options = FastOptions();
+  model.Train(data, options);
+  const EvalResult result = model.Evaluate(data.test);
+  EXPECT_GT(result.f1, 0.5f) << result.ToString();
+  EXPECT_GT(model.last_train_seconds(), 0.0);
+}
+
+TEST(DmPlusTest, LearnsSmallBenchmark) {
+  PairDataset data = SmallDataset();
+  DmPlusModel model;
+  model.Train(data, FastOptions());
+  const EvalResult result = model.Evaluate(data.test);
+  EXPECT_GT(result.f1, 0.5f) << result.ToString();
+}
+
+TEST(DittoTest, SerializationFormat) {
+  PairDataset data = SmallDataset();
+  DittoConfig config;
+  config.lm_size = LmSize::kSmall;
+  config.lm_pretrain_steps = 0;
+  DittoModel model(config);
+  TrainOptions options = FastOptions();
+  options.epochs = 1;
+  options.max_train_items = 4;
+  model.Train(data, options);
+  const std::vector<int> ids = model.SerializePair(data.test.front());
+  ASSERT_GE(ids.size(), 3u);
+  EXPECT_EQ(ids.front(), Vocabulary::kCls);
+  EXPECT_EQ(ids.back(), Vocabulary::kSep);
+  // Two [SEP] markers: one per entity.
+  EXPECT_GE(std::count(ids.begin(), ids.end(), Vocabulary::kSep), 2);
+  EXPECT_LE(static_cast<int>(ids.size()), config.max_sequence_length);
+}
+
+TEST(DittoTest, LearnsSmallBenchmark) {
+  PairDataset data = SmallDataset();
+  DittoConfig config;
+  config.lm_size = LmSize::kSmall;
+  // Transformer matchers rely on sentence-pair pre-training of the
+  // backbone (DESIGN.md): give it enough steps to form match circuits.
+  config.lm_pretrain_steps = 1500;
+  DittoModel model(config);
+  model.Train(data, FastOptions());
+  const EvalResult result = model.Evaluate(data.test);
+  EXPECT_GT(result.f1, 0.4f) << result.ToString();
+}
+
+TEST(HierGatTest, LearnsSmallBenchmark) {
+  PairDataset data = SmallDataset();
+  HierGatConfig config;
+  config.lm_size = LmSize::kSmall;
+  config.lm_pretrain_steps = 1500;
+  HierGatModel model(config);
+  model.Train(data, FastOptions());
+  const EvalResult result = model.Evaluate(data.test);
+  EXPECT_GT(result.f1, 0.45f) << result.ToString();
+}
+
+TEST(HierGatTest, AttentionReportIsWellFormed) {
+  PairDataset data = SmallDataset(44);
+  HierGatConfig config;
+  config.lm_size = LmSize::kSmall;
+  config.lm_pretrain_steps = 0;
+  HierGatModel model(config);
+  TrainOptions options = FastOptions();
+  options.epochs = 1;
+  options.max_train_items = 8;
+  model.Train(data, options);
+
+  const HierGatModel::AttentionReport report =
+      model.InspectAttention(data.test.front());
+  ASSERT_EQ(report.left.size(), 3u);
+  ASSERT_EQ(report.right.size(), 3u);
+  for (const auto& attr : report.left) {
+    EXPECT_EQ(attr.tokens.size(), attr.weights.size());
+  }
+  // Eq. 4 attribute weights: K entries summing to ~1.
+  ASSERT_EQ(report.attribute_weights.size(), 3u);
+  float sum = 0.0f;
+  for (float w : report.attribute_weights) sum += w;
+  EXPECT_NEAR(sum, 1.0f, 1e-3f);
+  EXPECT_GE(report.match_probability, 0.0f);
+  EXPECT_LE(report.match_probability, 1.0f);
+}
+
+TEST(HierGatTest, CombinationStrategiesAllTrain) {
+  PairDataset data = SmallDataset(55);
+  TrainOptions options = FastOptions();
+  options.epochs = 2;
+  options.max_train_items = 40;
+  for (ViewCombination strategy :
+       {ViewCombination::kViewAverage, ViewCombination::kSharedSpace,
+        ViewCombination::kWeightAverage}) {
+    HierGatConfig config;
+    config.lm_size = LmSize::kSmall;
+    config.lm_pretrain_steps = 0;
+    config.combination = strategy;
+    HierGatModel model(config);
+    model.Train(data, options);
+    const EvalResult result = model.Evaluate(data.test);
+    EXPECT_GE(result.f1, 0.0f);  // Trains and predicts without crashing.
+  }
+}
+
+TEST(HierGatTest, TrainingIsDeterministicPerSeed) {
+  PairDataset data = SmallDataset(66);
+  TrainOptions options = FastOptions();
+  options.epochs = 1;
+  options.max_train_items = 20;
+  auto run = [&]() {
+    HierGatConfig config;
+    config.lm_size = LmSize::kSmall;
+    config.lm_pretrain_steps = 10;
+    HierGatModel model(config);
+    model.Train(data, options);
+    return model.PredictProbability(data.test.front());
+  };
+  EXPECT_FLOAT_EQ(run(), run());
+}
+
+TEST(NeuralModelsTest, MaxTrainItemsLimitsWork) {
+  PairDataset data = SmallDataset(77);
+  DittoConfig config;
+  config.lm_size = LmSize::kSmall;
+  config.lm_pretrain_steps = 0;
+  DittoModel model(config);
+  TrainOptions options = FastOptions();
+  options.epochs = 1;
+  options.max_train_items = 5;
+  model.Train(data, options);  // Must finish quickly without crashing.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace hiergat

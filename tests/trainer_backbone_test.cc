@@ -1,0 +1,183 @@
+// Tests for the shared training machinery (snapshot/restore, best-epoch
+// selection, options plumbing) and the LM backbone construction.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "er/lm_backbone.h"
+#include "er/trainer.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace hiergat {
+namespace {
+
+TEST(SnapshotTest, RoundTripRestoresValues) {
+  Rng rng(1);
+  Linear layer(3, 2, rng);
+  std::vector<Tensor> params = layer.Parameters();
+  const auto snapshot = SnapshotParameters(params);
+  for (Tensor& p : params) {
+    for (float& v : p.data()) v += 1.0f;
+  }
+  RestoreParameters(snapshot, &params);
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(params[i].data(), snapshot[i]);
+  }
+}
+
+/// A minimal trainable model: logistic regression over PairFeatures-free
+/// toy encoding (bag equality), to exercise the NeuralPairwiseModel loop
+/// without transformer cost.
+class ToyPairwiseModel : public NeuralPairwiseModel {
+ public:
+  ToyPairwiseModel() : rng_(3), layer_(2, 2, rng_) {}
+  std::string name() const override { return "toy"; }
+  void Train(const PairDataset& data, const TrainOptions& options) override {
+    NeuralPairwiseModel::Train(data, options);
+    trained_ = true;
+  }
+  bool trained() const { return trained_; }
+
+ protected:
+  Tensor ForwardLogits(const EntityPair& pair, bool) override {
+    // Features: token overlap of the two sides + bias-ish constant.
+    const auto lt = pair.left.AllValueTokens();
+    const auto rt = pair.right.AllValueTokens();
+    float overlap = 0.0f;
+    for (const auto& t : lt) {
+      for (const auto& r : rt) {
+        if (t == r) {
+          overlap += 1.0f;
+          break;
+        }
+      }
+    }
+    overlap /= static_cast<float>(std::max<size_t>(1, lt.size()));
+    Tensor x = Tensor::FromVector({1, 2}, {overlap, 1.0f});
+    return layer_.Forward(x);
+  }
+  std::vector<Tensor> TrainableParameters() const override {
+    return layer_.Parameters();
+  }
+
+ private:
+  Rng rng_;
+  Linear layer_;
+  bool trained_ = false;
+};
+
+PairDataset ToyData() {
+  SyntheticSpec spec;
+  spec.name = "toy";
+  spec.num_pairs = 200;
+  spec.hardness = 0.2f;  // Easy: overlap separates well.
+  spec.noise = 0.03f;
+  spec.seed = 31;
+  return GeneratePairDataset(spec);
+}
+
+TEST(NeuralTrainerTest, ToyModelLearnsFromOverlapFeature) {
+  PairDataset data = ToyData();
+  ToyPairwiseModel model;
+  TrainOptions options;
+  options.epochs = 30;
+  options.lr = 0.1f;
+  model.Train(data, options);
+  EXPECT_TRUE(model.trained());
+  EXPECT_GT(model.Evaluate(data.test).f1, 0.6f);
+  EXPECT_GT(model.last_train_seconds(), 0.0);
+}
+
+TEST(NeuralTrainerTest, ValidationSelectionNeverWorseThanFinalEpoch) {
+  PairDataset data = ToyData();
+  TrainOptions options;
+  options.epochs = 12;
+  options.lr = 0.5f;  // Deliberately unstable: late epochs oscillate.
+  options.select_best_on_validation = false;
+  ToyPairwiseModel last_epoch;
+  last_epoch.Train(data, options);
+  const float last_f1 = last_epoch.Evaluate(data.valid).f1;
+
+  options.select_best_on_validation = true;
+  ToyPairwiseModel best_epoch;
+  best_epoch.Train(data, options);
+  const float best_f1 = best_epoch.Evaluate(data.valid).f1;
+  EXPECT_GE(best_f1 + 1e-5f, last_f1)
+      << "best-epoch selection must not underperform the last epoch on "
+         "the validation split it selects on";
+}
+
+TEST(NeuralTrainerTest, MaxTrainItemsShortensTraining) {
+  PairDataset data = ToyData();
+  TrainOptions options;
+  options.epochs = 5;
+  ToyPairwiseModel full;
+  full.Train(data, options);
+  options.max_train_items = 5;
+  ToyPairwiseModel limited;
+  limited.Train(data, options);
+  EXPECT_LT(limited.last_train_seconds(), full.last_train_seconds());
+}
+
+TEST(BackboneTest, VocabularyCoversAllSplits) {
+  SyntheticSpec spec;
+  spec.name = "vocab";
+  spec.num_pairs = 80;
+  spec.seed = 17;
+  const PairDataset data = GeneratePairDataset(spec);
+  const auto vocab = BuildVocabulary({&data.train, &data.valid, &data.test});
+  for (const auto* split : {&data.train, &data.valid, &data.test}) {
+    for (const EntityPair& pair : *split) {
+      for (const Entity* e : {&pair.left, &pair.right}) {
+        for (const std::string& token : e->AllValueTokens()) {
+          EXPECT_TRUE(vocab->Contains(token)) << token;
+        }
+      }
+    }
+  }
+}
+
+TEST(BackboneTest, CorpusHasValueSentencesAndSerializations) {
+  SyntheticSpec spec;
+  spec.name = "corpus";
+  spec.num_pairs = 40;
+  spec.num_attributes = 3;
+  spec.seed = 19;
+  const PairDataset data = GeneratePairDataset(spec);
+  const auto vocab = BuildVocabulary({&data.train, &data.valid, &data.test});
+  const auto corpus = MakeCorpus(data.train, *vocab);
+  // Per entity: up to 3 value sentences + 1 whole-entity serialization.
+  EXPECT_GT(corpus.size(), data.train.size() * 2);
+  EXPECT_LE(corpus.size(), data.train.size() * 2 * 4);
+  size_t max_len = 0;
+  for (const auto& sentence : corpus) {
+    EXPECT_FALSE(sentence.empty());
+    max_len = std::max(max_len, sentence.size());
+    for (int id : sentence) {
+      EXPECT_GE(id, Vocabulary::kNumSpecial) << "no special ids in corpus";
+      EXPECT_LT(id, vocab->size());
+    }
+  }
+  EXPECT_LE(max_len, 40u) << "serializations are capped";
+}
+
+TEST(BackboneTest, MakeBackbonePretrainsDeterministically) {
+  SyntheticSpec spec;
+  spec.name = "bk";
+  spec.num_pairs = 60;
+  spec.seed = 23;
+  const PairDataset data = GeneratePairDataset(spec);
+  LmBackbone a = MakeBackbone(data, LmSize::kSmall, 50, 7);
+  LmBackbone b = MakeBackbone(data, LmSize::kSmall, 50, 7);
+  const auto pa = a.lm->Parameters();
+  const auto pb = b.lm->Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].data(), pb[i].data());
+  }
+}
+
+}  // namespace
+}  // namespace hiergat
