@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure10_wdc_training_size.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure10_wdc_training_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure10_wdc_training_size.dir/bench_figure10_wdc_training_size.cc.o"
+  "CMakeFiles/bench_figure10_wdc_training_size.dir/bench_figure10_wdc_training_size.cc.o.d"
+  "bench_figure10_wdc_training_size"
+  "bench_figure10_wdc_training_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure10_wdc_training_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

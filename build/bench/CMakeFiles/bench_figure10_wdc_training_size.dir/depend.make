@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure10_wdc_training_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure11_training_time.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure11_training_time.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure11_training_time.dir/bench_figure11_training_time.cc.o"
+  "CMakeFiles/bench_figure11_training_time.dir/bench_figure11_training_time.cc.o.d"
+  "bench_figure11_training_time"
+  "bench_figure11_training_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure11_training_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

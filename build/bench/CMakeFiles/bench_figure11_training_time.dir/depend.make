@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_figure11_training_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_figure9_attention.dir/bench_common.cc.o"
+  "CMakeFiles/bench_figure9_attention.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_figure9_attention.dir/bench_figure9_attention.cc.o"
+  "CMakeFiles/bench_figure9_attention.dir/bench_figure9_attention.cc.o.d"
+  "bench_figure9_attention"
+  "bench_figure9_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure9_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_attribute_summarization.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table10_attribute_summarization.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table10_attribute_summarization.dir/bench_table10_attribute_summarization.cc.o"
+  "CMakeFiles/bench_table10_attribute_summarization.dir/bench_table10_attribute_summarization.cc.o.d"
+  "bench_table10_attribute_summarization"
+  "bench_table10_attribute_summarization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_attribute_summarization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_comparison_modules.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table11_comparison_modules.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table11_comparison_modules.dir/bench_table11_comparison_modules.cc.o"
+  "CMakeFiles/bench_table11_comparison_modules.dir/bench_table11_comparison_modules.cc.o.d"
+  "bench_table11_comparison_modules"
+  "bench_table11_comparison_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_comparison_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

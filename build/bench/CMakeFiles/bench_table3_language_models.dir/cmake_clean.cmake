@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_language_models.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table3_language_models.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table3_language_models.dir/bench_table3_language_models.cc.o"
+  "CMakeFiles/bench_table3_language_models.dir/bench_table3_language_models.cc.o.d"
+  "bench_table3_language_models"
+  "bench_table3_language_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_language_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_language_models.
+# This may be replaced when dependencies are built.

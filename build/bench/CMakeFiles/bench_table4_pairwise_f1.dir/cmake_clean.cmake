@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_pairwise_f1.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table4_pairwise_f1.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table4_pairwise_f1.dir/bench_table4_pairwise_f1.cc.o"
+  "CMakeFiles/bench_table4_pairwise_f1.dir/bench_table4_pairwise_f1.cc.o.d"
+  "bench_table4_pairwise_f1"
+  "bench_table4_pairwise_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_pairwise_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

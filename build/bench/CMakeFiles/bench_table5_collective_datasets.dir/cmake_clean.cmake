@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_collective_datasets.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table5_collective_datasets.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table5_collective_datasets.dir/bench_table5_collective_datasets.cc.o"
+  "CMakeFiles/bench_table5_collective_datasets.dir/bench_table5_collective_datasets.cc.o.d"
+  "bench_table5_collective_datasets"
+  "bench_table5_collective_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_collective_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_collective_lms.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table8_collective_lms.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table8_collective_lms.dir/bench_table8_collective_lms.cc.o"
+  "CMakeFiles/bench_table8_collective_lms.dir/bench_table8_collective_lms.cc.o.d"
+  "bench_table8_collective_lms"
+  "bench_table8_collective_lms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_collective_lms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_context_ablation.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table9_context_ablation.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table9_context_ablation.dir/bench_table9_context_ablation.cc.o"
+  "CMakeFiles/bench_table9_context_ablation.dir/bench_table9_context_ablation.cc.o.d"
+  "bench_table9_context_ablation"
+  "bench_table9_context_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_context_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/attention_visualization.cpp" "examples/CMakeFiles/attention_visualization.dir/attention_visualization.cpp.o" "gcc" "examples/CMakeFiles/attention_visualization.dir/attention_visualization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/er/CMakeFiles/hiergat_er.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hiergat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/hiergat_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hiergat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hiergat_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hiergat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hiergat_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hiergat_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attention_visualization.dir/attention_visualization.cpp.o"
+  "CMakeFiles/attention_visualization.dir/attention_visualization.cpp.o.d"
+  "attention_visualization"
+  "attention_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attention_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

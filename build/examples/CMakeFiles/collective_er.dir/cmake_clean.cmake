@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_er.dir/collective_er.cpp.o"
+  "CMakeFiles/collective_er.dir/collective_er.cpp.o.d"
+  "collective_er"
+  "collective_er.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_er.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirty_robustness.dir/dirty_robustness.cpp.o"
+  "CMakeFiles/dirty_robustness.dir/dirty_robustness.cpp.o.d"
+  "dirty_robustness"
+  "dirty_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_matching.dir/product_matching.cpp.o"
+  "CMakeFiles/product_matching.dir/product_matching.cpp.o.d"
+  "product_matching"
+  "product_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiergat_blocking.dir/blocker.cc.o"
+  "CMakeFiles/hiergat_blocking.dir/blocker.cc.o.d"
+  "libhiergat_blocking.a"
+  "libhiergat_blocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiergat_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiergat_core.dir/status.cc.o"
+  "CMakeFiles/hiergat_core.dir/status.cc.o.d"
+  "libhiergat_core.a"
+  "libhiergat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiergat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiergat_data.dir/csv.cc.o"
+  "CMakeFiles/hiergat_data.dir/csv.cc.o.d"
+  "CMakeFiles/hiergat_data.dir/entity.cc.o"
+  "CMakeFiles/hiergat_data.dir/entity.cc.o.d"
+  "CMakeFiles/hiergat_data.dir/synthetic.cc.o"
+  "CMakeFiles/hiergat_data.dir/synthetic.cc.o.d"
+  "libhiergat_data.a"
+  "libhiergat_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiergat_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

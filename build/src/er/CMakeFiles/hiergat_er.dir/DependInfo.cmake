@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/er/aggregation.cc" "src/er/CMakeFiles/hiergat_er.dir/aggregation.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/aggregation.cc.o.d"
+  "/root/repo/src/er/baselines/classic_classifiers.cc" "src/er/CMakeFiles/hiergat_er.dir/baselines/classic_classifiers.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/baselines/classic_classifiers.cc.o.d"
+  "/root/repo/src/er/baselines/deepmatcher.cc" "src/er/CMakeFiles/hiergat_er.dir/baselines/deepmatcher.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/baselines/deepmatcher.cc.o.d"
+  "/root/repo/src/er/baselines/ditto.cc" "src/er/CMakeFiles/hiergat_er.dir/baselines/ditto.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/baselines/ditto.cc.o.d"
+  "/root/repo/src/er/baselines/gnn.cc" "src/er/CMakeFiles/hiergat_er.dir/baselines/gnn.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/baselines/gnn.cc.o.d"
+  "/root/repo/src/er/baselines/magellan.cc" "src/er/CMakeFiles/hiergat_er.dir/baselines/magellan.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/baselines/magellan.cc.o.d"
+  "/root/repo/src/er/baselines/similarity_features.cc" "src/er/CMakeFiles/hiergat_er.dir/baselines/similarity_features.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/baselines/similarity_features.cc.o.d"
+  "/root/repo/src/er/comparison.cc" "src/er/CMakeFiles/hiergat_er.dir/comparison.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/comparison.cc.o.d"
+  "/root/repo/src/er/contextual.cc" "src/er/CMakeFiles/hiergat_er.dir/contextual.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/contextual.cc.o.d"
+  "/root/repo/src/er/graph_attention.cc" "src/er/CMakeFiles/hiergat_er.dir/graph_attention.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/graph_attention.cc.o.d"
+  "/root/repo/src/er/hiergat.cc" "src/er/CMakeFiles/hiergat_er.dir/hiergat.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/hiergat.cc.o.d"
+  "/root/repo/src/er/hiergat_plus.cc" "src/er/CMakeFiles/hiergat_er.dir/hiergat_plus.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/hiergat_plus.cc.o.d"
+  "/root/repo/src/er/lm_backbone.cc" "src/er/CMakeFiles/hiergat_er.dir/lm_backbone.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/lm_backbone.cc.o.d"
+  "/root/repo/src/er/metrics.cc" "src/er/CMakeFiles/hiergat_er.dir/metrics.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/metrics.cc.o.d"
+  "/root/repo/src/er/model.cc" "src/er/CMakeFiles/hiergat_er.dir/model.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/model.cc.o.d"
+  "/root/repo/src/er/trainer.cc" "src/er/CMakeFiles/hiergat_er.dir/trainer.cc.o" "gcc" "src/er/CMakeFiles/hiergat_er.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hiergat_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocking/CMakeFiles/hiergat_blocking.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hiergat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hiergat_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hiergat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hiergat_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hiergat_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

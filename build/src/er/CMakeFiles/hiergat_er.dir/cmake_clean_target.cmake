@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhiergat_er.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/hhg.cc" "src/graph/CMakeFiles/hiergat_graph.dir/hhg.cc.o" "gcc" "src/graph/CMakeFiles/hiergat_graph.dir/hhg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/hiergat_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/hiergat_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hiergat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hiergat_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hiergat_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiergat_graph.dir/hhg.cc.o"
+  "CMakeFiles/hiergat_graph.dir/hhg.cc.o.d"
+  "libhiergat_graph.a"
+  "libhiergat_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiergat_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/hiergat_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/hiergat_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/hiergat_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/hiergat_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/gru.cc" "src/nn/CMakeFiles/hiergat_nn.dir/gru.cc.o" "gcc" "src/nn/CMakeFiles/hiergat_nn.dir/gru.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/hiergat_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/hiergat_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/hiergat_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/hiergat_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/hiergat_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/hiergat_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/hiergat_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/hiergat_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/nn/CMakeFiles/hiergat_nn.dir/transformer.cc.o" "gcc" "src/nn/CMakeFiles/hiergat_nn.dir/transformer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hiergat_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hiergat_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

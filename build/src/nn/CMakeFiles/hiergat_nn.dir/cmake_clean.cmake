@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiergat_nn.dir/attention.cc.o"
+  "CMakeFiles/hiergat_nn.dir/attention.cc.o.d"
+  "CMakeFiles/hiergat_nn.dir/embedding.cc.o"
+  "CMakeFiles/hiergat_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/hiergat_nn.dir/gru.cc.o"
+  "CMakeFiles/hiergat_nn.dir/gru.cc.o.d"
+  "CMakeFiles/hiergat_nn.dir/linear.cc.o"
+  "CMakeFiles/hiergat_nn.dir/linear.cc.o.d"
+  "CMakeFiles/hiergat_nn.dir/mlp.cc.o"
+  "CMakeFiles/hiergat_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/hiergat_nn.dir/optimizer.cc.o"
+  "CMakeFiles/hiergat_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/hiergat_nn.dir/serialize.cc.o"
+  "CMakeFiles/hiergat_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/hiergat_nn.dir/transformer.cc.o"
+  "CMakeFiles/hiergat_nn.dir/transformer.cc.o.d"
+  "libhiergat_nn.a"
+  "libhiergat_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiergat_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

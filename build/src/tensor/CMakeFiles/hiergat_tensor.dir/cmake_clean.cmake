@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiergat_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/hiergat_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/hiergat_tensor.dir/ops.cc.o"
+  "CMakeFiles/hiergat_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/hiergat_tensor.dir/tensor.cc.o"
+  "CMakeFiles/hiergat_tensor.dir/tensor.cc.o.d"
+  "libhiergat_tensor.a"
+  "libhiergat_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiergat_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/hashed_embeddings.cc" "src/text/CMakeFiles/hiergat_text.dir/hashed_embeddings.cc.o" "gcc" "src/text/CMakeFiles/hiergat_text.dir/hashed_embeddings.cc.o.d"
+  "/root/repo/src/text/mini_lm.cc" "src/text/CMakeFiles/hiergat_text.dir/mini_lm.cc.o" "gcc" "src/text/CMakeFiles/hiergat_text.dir/mini_lm.cc.o.d"
+  "/root/repo/src/text/tfidf.cc" "src/text/CMakeFiles/hiergat_text.dir/tfidf.cc.o" "gcc" "src/text/CMakeFiles/hiergat_text.dir/tfidf.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/hiergat_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/hiergat_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/hiergat_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/hiergat_text.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/hiergat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hiergat_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hiergat_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

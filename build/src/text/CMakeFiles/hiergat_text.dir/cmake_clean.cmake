@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hiergat_text.dir/hashed_embeddings.cc.o"
+  "CMakeFiles/hiergat_text.dir/hashed_embeddings.cc.o.d"
+  "CMakeFiles/hiergat_text.dir/mini_lm.cc.o"
+  "CMakeFiles/hiergat_text.dir/mini_lm.cc.o.d"
+  "CMakeFiles/hiergat_text.dir/tfidf.cc.o"
+  "CMakeFiles/hiergat_text.dir/tfidf.cc.o.d"
+  "CMakeFiles/hiergat_text.dir/tokenizer.cc.o"
+  "CMakeFiles/hiergat_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/hiergat_text.dir/vocab.cc.o"
+  "CMakeFiles/hiergat_text.dir/vocab.cc.o.d"
+  "libhiergat_text.a"
+  "libhiergat_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hiergat_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

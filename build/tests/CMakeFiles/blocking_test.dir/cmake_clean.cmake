@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_test.dir/blocking_test.cc.o"
+  "CMakeFiles/blocking_test.dir/blocking_test.cc.o.d"
+  "blocking_test"
+  "blocking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classic_classifiers_test.dir/classic_classifiers_test.cc.o"
+  "CMakeFiles/classic_classifiers_test.dir/classic_classifiers_test.cc.o.d"
+  "classic_classifiers_test"
+  "classic_classifiers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classic_classifiers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contextual_test.dir/contextual_test.cc.o"
+  "CMakeFiles/contextual_test.dir/contextual_test.cc.o.d"
+  "contextual_test"
+  "contextual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contextual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_features_test.dir/metrics_features_test.cc.o"
+  "CMakeFiles/metrics_features_test.dir/metrics_features_test.cc.o.d"
+  "metrics_features_test"
+  "metrics_features_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_lm_pair_test.dir/mini_lm_pair_test.cc.o"
+  "CMakeFiles/mini_lm_pair_test.dir/mini_lm_pair_test.cc.o.d"
+  "mini_lm_pair_test"
+  "mini_lm_pair_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_lm_pair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

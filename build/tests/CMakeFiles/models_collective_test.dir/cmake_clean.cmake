@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_collective_test.dir/models_collective_test.cc.o"
+  "CMakeFiles/models_collective_test.dir/models_collective_test.cc.o.d"
+  "models_collective_test"
+  "models_collective_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_collective_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_pairwise_test.dir/models_pairwise_test.cc.o"
+  "CMakeFiles/models_pairwise_test.dir/models_pairwise_test.cc.o.d"
+  "models_pairwise_test"
+  "models_pairwise_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_pairwise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

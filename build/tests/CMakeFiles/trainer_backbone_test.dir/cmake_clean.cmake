@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_backbone_test.dir/trainer_backbone_test.cc.o"
+  "CMakeFiles/trainer_backbone_test.dir/trainer_backbone_test.cc.o.d"
+  "trainer_backbone_test"
+  "trainer_backbone_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_backbone_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
