@@ -1,15 +1,13 @@
 // Product matching end to end: raw source tables -> keyword blocking ->
 // labeled training pairs -> model comparison (the full Figure 5
 // pipeline, including the Blocker stage the experiment harnesses skip).
+// Matchers are built by name via MakeMatcher and the surviving
+// candidates are scored in one batch through the InferenceEngine.
 
 #include <cstdio>
 #include <map>
 
-#include "blocking/blocker.h"
-#include "data/csv.h"
-#include "data/synthetic.h"
-#include "er/baselines/magellan.h"
-#include "er/hiergat.h"
+#include "er/er.h"
 
 using namespace hiergat;  // Example code; library code never does this.
 
@@ -63,20 +61,22 @@ int main() {
   const Status status = WritePairsCsv("/tmp/product_pairs.csv", data.train);
   std::printf("exported training pairs: %s\n", status.ToString().c_str());
 
-  // Compare a classical and a neural matcher on the same data.
+  // Compare a classical and a neural matcher on the same data, both
+  // built by name and evaluated through the shared engine so scoring
+  // uses the batched inference path.
   TrainOptions options;
   options.epochs = 8;
-  MagellanModel magellan;
-  magellan.Train(data, options);
-  std::printf("\nMagellan (%s): %s\n", magellan.selected_classifier().c_str(),
-              magellan.Evaluate(data.test).ToString().c_str());
+  InferenceEngine engine(EngineOptions{.num_threads = 4});
 
-  HierGatConfig config;
-  config.lm_size = LmSize::kSmall;
-  config.lm_pretrain_steps = 1500;
-  HierGatModel hiergat(config);
-  hiergat.Train(data, options);
-  std::printf("HierGAT: %s\n",
-              hiergat.Evaluate(data.test).ToString().c_str());
+  MatcherOptions matcher_options;
+  matcher_options.lm_size = LmSize::kSmall;
+  matcher_options.lm_pretrain_steps = 1500;
+  for (const char* name : {"magellan", "hiergat"}) {
+    const std::unique_ptr<PairwiseModel> model =
+        MakeMatcher(name, matcher_options);
+    model->Train(data, options);
+    std::printf("\n%s: %s\n", model->name().c_str(),
+                engine.Evaluate(*model, data.test).ToString().c_str());
+  }
   return 0;
 }

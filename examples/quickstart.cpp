@@ -3,13 +3,13 @@
 //
 //   $ ./examples/quickstart
 //
-// Walks the full public API: generate (or load) a dataset, train the
-// matcher, evaluate F1, and score individual candidate pairs.
+// Walks the full public API through the er.h umbrella header: generate
+// (or load) a dataset, build a matcher with MakeMatcher, train it,
+// batch-score candidates with the InferenceEngine, and evaluate F1.
 
 #include <cstdio>
 
-#include "data/synthetic.h"
-#include "er/hiergat.h"
+#include "er/er.h"
 
 using namespace hiergat;  // Example code; library code never does this.
 
@@ -28,28 +28,34 @@ int main() {
   std::printf("dataset: %d pairs (%d positive), schema of %d attributes\n",
               data.TotalSize(), data.PositiveCount(), data.NumAttributes());
 
-  // 2. Model: pairwise HierGAT with the small MiniLM backbone. The
-  //    backbone is pre-trained on the dataset's unlabeled text, then the
-  //    whole stack fine-tunes end-to-end.
-  HierGatConfig config;
-  config.lm_size = LmSize::kSmall;
-  config.lm_pretrain_steps = 1500;
-  HierGatModel model(config);
+  // 2. Model: pairwise HierGAT with the small MiniLM backbone, built by
+  //    name through the factory. The backbone is pre-trained on the
+  //    dataset's unlabeled text, then the whole stack fine-tunes
+  //    end-to-end. TrainOptions::seed drives both stages.
+  MatcherOptions matcher_options;
+  matcher_options.lm_size = LmSize::kSmall;
+  matcher_options.lm_pretrain_steps = 1500;
+  const std::unique_ptr<PairwiseModel> model =
+      MakeMatcher("hiergat", matcher_options);
 
   TrainOptions options;
   options.epochs = 8;
   options.verbose = true;
-  model.Train(data, options);
+  model->Train(data, options);
 
   // 3. Evaluate on the held-out test pairs.
-  const EvalResult result = model.Evaluate(data.test);
+  const EvalResult result = model->Evaluate(data.test);
   std::printf("\ntest metrics: %s\n", result.ToString().c_str());
 
-  // 4. Score a single candidate pair.
+  // 4. Batch-score the test pairs through the inference engine — the
+  //    production path for blocker output (thread pool + summary cache).
+  InferenceEngine engine(EngineOptions{.num_threads = 4});
+  const std::vector<float> probabilities = engine.Score(*model, data.test);
+
   const EntityPair& pair = data.test.front();
   std::printf("\nentity A: %s\nentity B: %s\n",
               pair.left.Serialize().c_str(), pair.right.Serialize().c_str());
-  std::printf("P(match) = %.3f   (gold label: %d)\n",
-              model.PredictProbability(pair), pair.label);
+  std::printf("P(match) = %.3f   (gold label: %d)\n", probabilities.front(),
+              pair.label);
   return 0;
 }

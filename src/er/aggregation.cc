@@ -1,6 +1,7 @@
 #include "er/aggregation.h"
 
 #include "core/logging.h"
+#include "nn/introspection.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -20,11 +21,13 @@ Tensor HierarchicalAggregator::SummarizeAttribute(
                    : ConcatRows({cls, GatherRows(wpc, token_seq)});
   seq = Dropout(seq, dropout_, rng, training);
   Tensor encoded = lm_->EncodeEmbedded(seq, training, rng);
-  // [CLS] attention over the tokens, for visualization.
-  const Tensor& attn = lm_->last_attention();  // [L, L]
-  last_token_attention_.clear();
-  for (int j = 1; j < attn.dim(1); ++j) {
-    last_token_attention_.push_back(attn.at(0, j));
+  if (AttentionRecordingEnabled()) {
+    // [CLS] attention over the tokens, for visualization.
+    const Tensor& attn = lm_->last_attention();  // [L, L]
+    last_token_attention_.clear();
+    for (int j = 1; j < attn.dim(1); ++j) {
+      last_token_attention_.push_back(attn.at(0, j));
+    }
   }
   return SliceRows(encoded, 0, 1);
 }

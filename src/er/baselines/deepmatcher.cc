@@ -42,23 +42,25 @@ void DeepMatcherModel::Train(const PairDataset& data,
 }
 
 Tensor DeepMatcherModel::EncodeAttribute(const std::string& value,
-                                         bool training) {
+                                         bool training, Rng& rng) const {
   std::vector<int> ids = vocab_->Encode(Tokenize(value));
   if (ids.empty()) ids.push_back(Vocabulary::kPad);
   Tensor embedded = embeddings_->Forward(ids);
-  embedded = Dropout(embedded, config_.dropout, rng(), training);
+  embedded = Dropout(embedded, config_.dropout, rng, training);
   Tensor states = encoder_->Forward(embedded);  // [L, 2H]
   return MeanRows(states);
 }
 
-Tensor DeepMatcherModel::ForwardLogits(const EntityPair& pair,
-                                       bool training) {
+Tensor DeepMatcherModel::ForwardLogits(const EntityPair& pair, bool training,
+                                       Rng& rng) const {
   HG_CHECK(built_) << "Train before inference";
   std::vector<Tensor> comparisons;
   comparisons.reserve(static_cast<size_t>(num_attributes_));
   for (int a = 0; a < num_attributes_; ++a) {
-    Tensor left = EncodeAttribute(pair.left.attribute(a).second, training);
-    Tensor right = EncodeAttribute(pair.right.attribute(a).second, training);
+    Tensor left =
+        EncodeAttribute(pair.left.attribute(a).second, training, rng);
+    Tensor right =
+        EncodeAttribute(pair.right.attribute(a).second, training, rng);
     Tensor diff = Sub(left, right);
     // |l - r| as relu(d) + relu(-d), keeping the width at 2H.
     Tensor abs_diff = Add(Relu(diff), Relu(Neg(diff)));
@@ -83,14 +85,15 @@ DmPlusModel::DmPlusModel(const DeepMatcherConfig& config)
     : DeepMatcherModel(config) {}
 
 Tensor DmPlusModel::CompareAligned(const std::string& left,
-                                   const std::string& right, bool training) {
+                                   const std::string& right, bool training,
+                                   Rng& rng) const {
   std::vector<int> lids = vocab_->Encode(Tokenize(left));
   std::vector<int> rids = vocab_->Encode(Tokenize(right));
   if (lids.empty()) lids.push_back(Vocabulary::kPad);
   if (rids.empty()) rids.push_back(Vocabulary::kPad);
-  Tensor lx = Dropout(embeddings_->Forward(lids), config_.dropout, rng(),
+  Tensor lx = Dropout(embeddings_->Forward(lids), config_.dropout, rng,
                       training);
-  Tensor rx = Dropout(embeddings_->Forward(rids), config_.dropout, rng(),
+  Tensor rx = Dropout(embeddings_->Forward(rids), config_.dropout, rng,
                       training);
   Tensor lh = encoder_->Forward(lx);  // [L1, 2H]
   Tensor rh = encoder_->Forward(rx);  // [L2, 2H]
@@ -102,14 +105,15 @@ Tensor DmPlusModel::CompareAligned(const std::string& left,
   return MeanRows(comparison);  // [1, 4H]
 }
 
-Tensor DmPlusModel::ForwardLogits(const EntityPair& pair, bool training) {
+Tensor DmPlusModel::ForwardLogits(const EntityPair& pair, bool training,
+                                  Rng& rng) const {
   HG_CHECK(built_) << "Train before inference";
   std::vector<Tensor> comparisons;
   comparisons.reserve(static_cast<size_t>(num_attributes_));
   for (int a = 0; a < num_attributes_; ++a) {
     comparisons.push_back(CompareAligned(pair.left.attribute(a).second,
                                          pair.right.attribute(a).second,
-                                         training));
+                                         training, rng));
   }
   Tensor features = ConcatCols(comparisons);
   features = highway_->Forward(features);

@@ -38,11 +38,13 @@ class DeepMatcherModel : public NeuralPairwiseModel {
   void Train(const PairDataset& data, const TrainOptions& options) override;
 
  protected:
-  Tensor ForwardLogits(const EntityPair& pair, bool training) override;
+  Tensor ForwardLogits(const EntityPair& pair, bool training,
+                       Rng& rng) const override;
   std::vector<Tensor> TrainableParameters() const override;
 
   /// BiGRU summary [1, 2H] of one attribute value.
-  Tensor EncodeAttribute(const std::string& value, bool training);
+  Tensor EncodeAttribute(const std::string& value, bool training,
+                         Rng& rng) const;
 
   DeepMatcherConfig config_;
   std::unique_ptr<Vocabulary> vocab_;
@@ -68,12 +70,13 @@ class DmPlusModel : public DeepMatcherModel {
   std::string name() const override { return "DM+"; }
 
  protected:
-  Tensor ForwardLogits(const EntityPair& pair, bool training) override;
+  Tensor ForwardLogits(const EntityPair& pair, bool training,
+                       Rng& rng) const override;
 
  private:
   /// Aligned comparison of one attribute pair -> [1, 4H].
   Tensor CompareAligned(const std::string& left, const std::string& right,
-                        bool training);
+                        bool training, Rng& rng) const;
 };
 
 }  // namespace hiergat

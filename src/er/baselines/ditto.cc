@@ -52,7 +52,8 @@ std::vector<int> DittoModel::SerializePair(const EntityPair& pair) const {
   return ids;
 }
 
-Tensor DittoModel::ForwardLogits(const EntityPair& pair, bool training) {
+Tensor DittoModel::ForwardLogits(const EntityPair& pair, bool training,
+                                 Rng& rng) const {
   HG_CHECK(built_) << "Train before inference";
   std::vector<int> ids = SerializePair(pair);
   if (training) {
@@ -62,7 +63,7 @@ Tensor DittoModel::ForwardLogits(const EntityPair& pair, bool training) {
     std::vector<int> kept;
     kept.reserve(ids.size());
     for (int id : ids) {
-      if (id >= Vocabulary::kNumSpecial && rng().NextBool(0.05f)) continue;
+      if (id >= Vocabulary::kNumSpecial && rng.NextBool(0.05f)) continue;
       kept.push_back(id);
     }
     ids = std::move(kept);
@@ -73,9 +74,9 @@ Tensor DittoModel::ForwardLogits(const EntityPair& pair, bool training) {
     segments[i] = 0;
     if (ids[i] == Vocabulary::kSep) break;
   }
-  Tensor encoded = backbone_.lm->EncodePair(ids, segments, training, rng());
+  Tensor encoded = backbone_.lm->EncodePair(ids, segments, training, rng);
   Tensor cls = SliceRows(encoded, 0, 1);
-  cls = Dropout(cls, config_.dropout, rng(), training);
+  cls = Dropout(cls, config_.dropout, rng, training);
   return classifier_->Forward(cls);
 }
 

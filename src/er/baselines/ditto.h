@@ -39,7 +39,8 @@ class DittoModel : public NeuralPairwiseModel {
   std::vector<int> SerializePair(const EntityPair& pair) const;
 
  protected:
-  Tensor ForwardLogits(const EntityPair& pair, bool training) override;
+  Tensor ForwardLogits(const EntityPair& pair, bool training,
+                       Rng& rng) const override;
   std::vector<Tensor> TrainableParameters() const override;
   std::vector<float> ParameterLrMultipliers() const override;
 

@@ -33,7 +33,8 @@ void GraphCollectiveModel::Train(const CollectiveDataset& data,
 }
 
 Tensor GraphCollectiveModel::ForwardQueryLogits(const CollectiveQuery& query,
-                                                bool training) {
+                                                bool training,
+                                                Rng& rng) const {
   HG_CHECK(built_) << "Train before inference";
   std::vector<Entity> entities;
   entities.push_back(query.query);
@@ -47,7 +48,7 @@ Tensor GraphCollectiveModel::ForwardQueryLogits(const CollectiveQuery& query,
     ids.push_back(vocab_->Id(token));
   }
   Tensor tokens = embeddings_->Forward(ids);
-  tokens = Dropout(tokens, config_.dropout, rng(), training);
+  tokens = Dropout(tokens, config_.dropout, rng, training);
 
   Tensor entity_rows = EntityEmbeddings(hhg, tokens, training);  // [M, D]
   Tensor vq = SliceRows(entity_rows, 0, 1);
@@ -142,7 +143,7 @@ void GcnCollectiveModel::BuildPropagation(Rng& rng) {
 
 Tensor GcnCollectiveModel::EntityEmbeddings(const Hhg& hhg,
                                             const Tensor& tokens,
-                                            bool training) {
+                                            bool training) const {
   (void)training;
   const HomogeneousGraph g = Flatten(hhg);
   // Symmetric-normalized adjacency with self-loops (constant data).
@@ -199,7 +200,7 @@ void GatCollectiveModel::BuildPropagation(Rng& rng) {
 
 Tensor GatCollectiveModel::EntityEmbeddings(const Hhg& hhg,
                                             const Tensor& tokens,
-                                            bool training) {
+                                            bool training) const {
   (void)training;
   const HomogeneousGraph g = Flatten(hhg);
   // Edge mask: 0 on edges/self-loops, -1e9 elsewhere (constant data).
@@ -247,7 +248,7 @@ void HgatCollectiveModel::BuildPropagation(Rng& rng) {
 
 Tensor HgatCollectiveModel::EntityEmbeddings(const Hhg& hhg,
                                              const Tensor& tokens,
-                                             bool training) {
+                                             bool training) const {
   (void)training;
   // Layer 1: token -> attribute.
   std::vector<Tensor> attr_rows;

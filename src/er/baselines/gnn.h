@@ -37,14 +37,14 @@ class GraphCollectiveModel : public NeuralCollectiveModel {
              const TrainOptions& options) override;
 
  protected:
-  Tensor ForwardQueryLogits(const CollectiveQuery& query,
-                            bool training) override;
+  Tensor ForwardQueryLogits(const CollectiveQuery& query, bool training,
+                            Rng& rng) const override;
   std::vector<Tensor> TrainableParameters() const override;
 
   /// Entity embeddings [M, entity_dim()] from the HHG and the token
   /// embedding matrix [T, embedding_dim].
   virtual Tensor EntityEmbeddings(const Hhg& hhg, const Tensor& tokens,
-                                  bool training) = 0;
+                                  bool training) const = 0;
   /// Width of the rows EntityEmbeddings returns.
   virtual int entity_dim() const = 0;
   /// Subclass parameters beyond the embedding table and head.
@@ -71,7 +71,7 @@ class GcnCollectiveModel : public GraphCollectiveModel {
 
  protected:
   Tensor EntityEmbeddings(const Hhg& hhg, const Tensor& tokens,
-                          bool training) override;
+                          bool training) const override;
   int entity_dim() const override { return config_.hidden_dim; }
   std::vector<Tensor> PropagationParameters() const override;
 
@@ -88,7 +88,7 @@ class GatCollectiveModel : public GraphCollectiveModel {
 
  protected:
   Tensor EntityEmbeddings(const Hhg& hhg, const Tensor& tokens,
-                          bool training) override;
+                          bool training) const override;
   int entity_dim() const override { return config_.hidden_dim; }
   std::vector<Tensor> PropagationParameters() const override;
 
@@ -109,7 +109,7 @@ class HgatCollectiveModel : public GraphCollectiveModel {
 
  protected:
   Tensor EntityEmbeddings(const Hhg& hhg, const Tensor& tokens,
-                          bool training) override;
+                          bool training) const override;
   int entity_dim() const override { return config_.embedding_dim; }
   std::vector<Tensor> PropagationParameters() const override;
 

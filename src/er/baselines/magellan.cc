@@ -64,7 +64,7 @@ void MagellanModel::Train(const PairDataset& data,
   HG_CHECK(selected_ != nullptr);
 }
 
-float MagellanModel::PredictProbability(const EntityPair& pair) {
+float MagellanModel::ScorePair(const EntityPair& pair) const {
   HG_CHECK(selected_ != nullptr) << "Train before Predict";
   return selected_->PredictProbability(PairFeatures(pair));
 }

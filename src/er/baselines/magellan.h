@@ -19,10 +19,12 @@ class MagellanModel : public PairwiseModel {
 
   std::string name() const override { return "Magellan"; }
   void Train(const PairDataset& data, const TrainOptions& options) override;
-  float PredictProbability(const EntityPair& pair) override;
 
   /// Name of the validation-selected classifier (after Train).
   const std::string& selected_classifier() const { return selected_name_; }
+
+ protected:
+  float ScorePair(const EntityPair& pair) const override;
 
  private:
   uint64_t seed_;

@@ -7,6 +7,23 @@
 
 namespace hiergat {
 
+namespace {
+
+// Cache key for a token-id list: the token *strings* (ids are local to
+// one HHG), '\x1f'-joined under a site prefix so the encode and pool
+// entries for the same value never collide.
+std::string TokenKey(const char* prefix, const Hhg& hhg,
+                     const std::vector<int>& token_ids) {
+  std::string key(prefix);
+  for (int t : token_ids) {
+    key += '\x1f';
+    key += hhg.token(t);
+  }
+  return key;
+}
+
+}  // namespace
+
 ContextualEmbedder::ContextualEmbedder(const MiniLm* lm,
                                        const ContextualConfig& config,
                                        Rng& rng)
@@ -21,7 +38,8 @@ ContextualEmbedder::ContextualEmbedder(const MiniLm* lm,
 
 Tensor ContextualEmbedder::TokenLevelContext(const Hhg& hhg,
                                              const Tensor& base,
-                                             bool training, Rng& rng) const {
+                                             bool training, Rng& rng,
+                                             SummaryCache* cache) const {
   const int num_tokens = hhg.num_tokens();
   const int f = lm_->dim();
   // Encode every attribute sequence, then average each token's
@@ -32,8 +50,15 @@ Tensor ContextualEmbedder::TokenLevelContext(const Hhg& hhg,
   int flat_rows = 0;
   for (const Hhg::AttributeNode& attr : hhg.attributes()) {
     if (attr.token_seq.empty()) continue;
-    Tensor seq = GatherRows(base, attr.token_seq);
-    Tensor ctx = lm_->EncodeEmbedded(seq, training, rng);
+    // The encode reads only this attribute's own rows of `base` (the
+    // static per-token-string embeddings), so it is cacheable by value.
+    auto encode = [&]() {
+      Tensor seq = GatherRows(base, attr.token_seq);
+      return lm_->EncodeEmbedded(seq, training, rng);
+    };
+    Tensor ctx = cache ? cache->GetOrCompute(TokenKey("ctx", hhg, attr.token_seq),
+                                             encode)
+                       : encode();
     encoded_parts.push_back(ctx);
     for (size_t p = 0; p < attr.token_seq.size(); ++p) {
       row_token.emplace_back(flat_rows + static_cast<int>(p),
@@ -54,8 +79,9 @@ Tensor ContextualEmbedder::TokenLevelContext(const Hhg& hhg,
   return MatMul(m, all_rows);  // [num_tokens, F]
 }
 
-Tensor ContextualEmbedder::Compute(const Hhg& hhg, bool training,
-                                   Rng& rng) const {
+Tensor ContextualEmbedder::Compute(const Hhg& hhg, bool training, Rng& rng,
+                                   SummaryCache* cache) const {
+  if (training) cache = nullptr;  // Cached tensors are detached.
   const int num_tokens = hhg.num_tokens();
   const int f = lm_->dim();
   HG_CHECK_GT(num_tokens, 0);
@@ -70,7 +96,7 @@ Tensor ContextualEmbedder::Compute(const Hhg& hhg, bool training,
 
   Tensor context;  // Accumulates C.
   if (config_.use_token_context) {
-    context = TokenLevelContext(hhg, base, training, rng);
+    context = TokenLevelContext(hhg, base, training, rng, cache);
   }
 
   const auto& groups = hhg.key_groups();
@@ -92,9 +118,15 @@ Tensor ContextualEmbedder::Compute(const Hhg& hhg, bool training,
       for (int t : seq) {
         if (seen.insert(t).second) distinct.push_back(t);
       }
-      Tensor nodes = GatherRows(base, distinct);
+      // Eq. 1 pools over the attribute's own distinct tokens only —
+      // also pair-independent, hence cacheable by value.
+      auto pool = [&]() {
+        Tensor nodes = GatherRows(base, distinct);
+        return attr_attention_->Pool(nodes, nodes);
+      };
       attr_embeddings[static_cast<size_t>(a)] =
-          attr_attention_->Pool(nodes, nodes);
+          cache ? cache->GetOrCompute(TokenKey("attr", hhg, distinct), pool)
+                : pool();
     }
     std::vector<Tensor> unique_attr;  // C^a_bar rows, one per key group.
     unique_attr.reserve(static_cast<size_t>(num_groups));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "er/graph_attention.h"
+#include "er/summary_cache.h"
 #include "graph/hhg.h"
 #include "text/mini_lm.h"
 
@@ -38,7 +39,17 @@ class ContextualEmbedder : public Module {
                      Rng& rng);
 
   /// WpC embeddings for every token node of `hhg`: [num_tokens, F].
-  Tensor Compute(const Hhg& hhg, bool training, Rng& rng) const;
+  ///
+  /// `cache`, if non-null at inference, memoizes the two sub-results
+  /// that depend only on a single attribute's own token sequence — the
+  /// token-level contextual encoding of each attribute and the Eq. 1
+  /// attribute pooling — keyed by the token strings, so the same
+  /// attribute value costs one encode across a whole candidate batch.
+  /// The cross-entity terms (key-group sums, common-token context) are
+  /// always recomputed, which keeps cached and uncached passes
+  /// bit-identical. Ignored when training.
+  Tensor Compute(const Hhg& hhg, bool training, Rng& rng,
+                 SummaryCache* cache = nullptr) const;
 
   std::vector<Tensor> Parameters() const override;
 
@@ -48,7 +59,8 @@ class ContextualEmbedder : public Module {
   /// C^t: encodes each attribute's token sequence with the LM encoder
   /// and averages per unique token.
   Tensor TokenLevelContext(const Hhg& hhg, const Tensor& base,
-                           bool training, Rng& rng) const;
+                           bool training, Rng& rng,
+                           SummaryCache* cache) const;
 
   const MiniLm* lm_;
   ContextualConfig config_;

@@ -1,0 +1,211 @@
+#include "er/engine.h"
+
+#include <algorithm>
+
+#include "nn/introspection.h"
+
+namespace hiergat {
+
+namespace {
+
+constexpr uint64_t Pack(int begin, int end) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(begin)) << 32) |
+         static_cast<uint32_t>(end);
+}
+
+constexpr int RangeBegin(uint64_t packed) {
+  return static_cast<int>(packed >> 32);
+}
+
+constexpr int RangeEnd(uint64_t packed) {
+  return static_cast<int>(packed & 0xffffffffu);
+}
+
+/// Owner side: claims up to `grain` items off the front of `slot`.
+bool PopFront(std::atomic<uint64_t>& slot, int grain, int* out_begin,
+              int* out_end) {
+  uint64_t cur = slot.load(std::memory_order_acquire);
+  for (;;) {
+    const int begin = RangeBegin(cur);
+    const int end = RangeEnd(cur);
+    if (begin >= end) return false;
+    const int take = std::min(grain, end - begin);
+    if (slot.compare_exchange_weak(cur, Pack(begin + take, end),
+                                   std::memory_order_acq_rel)) {
+      *out_begin = begin;
+      *out_end = begin + take;
+      return true;
+    }
+  }
+}
+
+/// Thief side: claims the back half of the victim's remaining range.
+bool StealBack(std::atomic<uint64_t>& slot, int* out_begin, int* out_end) {
+  uint64_t cur = slot.load(std::memory_order_acquire);
+  for (;;) {
+    const int begin = RangeBegin(cur);
+    const int end = RangeEnd(cur);
+    const int remaining = end - begin;
+    if (remaining <= 0) return false;
+    const int take = (remaining + 1) / 2;
+    if (slot.compare_exchange_weak(cur, Pack(begin, end - take),
+                                   std::memory_order_acq_rel)) {
+      *out_begin = end - take;
+      *out_end = end;
+      return true;
+    }
+  }
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const EngineOptions& options)
+    : num_threads_(options.num_threads > 0
+                       ? options.num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())),
+      grain_(std::max(1, options.min_grain)),
+      slots_(static_cast<size_t>(num_threads_)) {
+  threads_.reserve(static_cast<size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w) {
+    threads_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void InferenceEngine::WorkerLoop(int worker_id) {
+  // Introspection caches (last_attention() and friends) are mutable
+  // per-module state; recording from concurrent workers would race, and
+  // batch scoring has no use for the values.
+  SetAttentionRecording(false);
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return shutdown_ || job_generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = job_generation_;
+    const std::function<void(int, int)> fn = job_fn_;
+    ++active_workers_;
+    lock.unlock();
+    const int processed = ProcessRanges(worker_id, fn);
+    lock.lock();
+    --active_workers_;
+    done_items_ += processed;
+    if (done_items_ == job_total_ && active_workers_ == 0) {
+      done_cv_.notify_all();
+    }
+  }
+}
+
+int InferenceEngine::ProcessRanges(int worker_id,
+                                   const std::function<void(int, int)>& fn) {
+  int processed = 0;
+  std::atomic<uint64_t>& own = slots_[static_cast<size_t>(worker_id)].range;
+  for (;;) {
+    int begin, end;
+    if (PopFront(own, grain_, &begin, &end)) {
+      fn(begin, end);
+      processed += end - begin;
+      continue;
+    }
+    bool stole = false;
+    for (int k = 1; k < num_threads_ && !stole; ++k) {
+      const int victim = (worker_id + k) % num_threads_;
+      if (StealBack(slots_[static_cast<size_t>(victim)].range, &begin,
+                    &end)) {
+        // Publish the stolen range as our own so other thieves can
+        // split it further; an empty slot is never CAS-matched, so the
+        // plain store cannot clobber a concurrent steal.
+        own.store(Pack(begin, end), std::memory_order_release);
+        stole = true;
+      }
+    }
+    if (!stole) return processed;  // Every slot drained.
+  }
+}
+
+void InferenceEngine::RunJob(int total,
+                             const std::function<void(int, int)>& process) {
+  if (total <= 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  // Even contiguous partition of [0, total); trailing workers may get
+  // an empty slot when there are fewer items than threads.
+  const int chunk = total / num_threads_;
+  const int remainder = total % num_threads_;
+  int begin = 0;
+  for (int w = 0; w < num_threads_; ++w) {
+    const int len = chunk + (w < remainder ? 1 : 0);
+    slots_[static_cast<size_t>(w)].range.store(Pack(begin, begin + len),
+                                               std::memory_order_release);
+    begin += len;
+  }
+  job_fn_ = process;
+  job_total_ = total;
+  done_items_ = 0;
+  ++job_generation_;
+  cv_.notify_all();
+  // Wait until all items are scored AND every worker left ProcessRanges
+  // (a worker still inside could otherwise race the next job's slots).
+  done_cv_.wait(lock,
+                [&] { return done_items_ == job_total_ && active_workers_ == 0; });
+  job_fn_ = nullptr;
+}
+
+std::vector<float> InferenceEngine::Score(const PairwiseModel& model,
+                                          std::span<const EntityPair> pairs) {
+  std::vector<float> probabilities(pairs.size());
+  RunJob(static_cast<int>(pairs.size()), [&](int begin, int end) {
+    const std::vector<float> part = model.ScoreBatch(
+        pairs.subspan(static_cast<size_t>(begin),
+                      static_cast<size_t>(end - begin)));
+    std::copy(part.begin(), part.end(),
+              probabilities.begin() + begin);
+  });
+  return probabilities;
+}
+
+EvalResult InferenceEngine::Evaluate(const PairwiseModel& model,
+                                     std::span<const EntityPair> pairs) {
+  const std::vector<float> probabilities = Score(model, pairs);
+  std::vector<int> labels;
+  labels.reserve(pairs.size());
+  for (const EntityPair& pair : pairs) labels.push_back(pair.label);
+  return ComputeMetrics(probabilities, labels);
+}
+
+std::vector<std::vector<float>> InferenceEngine::ScoreQueries(
+    const CollectiveModel& model, std::span<const CollectiveQuery> queries) {
+  std::vector<std::vector<float>> results(queries.size());
+  RunJob(static_cast<int>(queries.size()), [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      results[static_cast<size_t>(i)] =
+          model.PredictQuery(queries[static_cast<size_t>(i)]);
+    }
+  });
+  return results;
+}
+
+EvalResult InferenceEngine::Evaluate(const CollectiveModel& model,
+                                     std::span<const CollectiveQuery> queries) {
+  const std::vector<std::vector<float>> results = ScoreQueries(model, queries);
+  std::vector<float> probabilities;
+  std::vector<int> labels;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    probabilities.insert(probabilities.end(), results[i].begin(),
+                         results[i].end());
+    labels.insert(labels.end(), queries[i].labels.begin(),
+                  queries[i].labels.end());
+  }
+  return ComputeMetrics(probabilities, labels);
+}
+
+}  // namespace hiergat

@@ -1,0 +1,68 @@
+#include "er/er.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hiergat {
+
+namespace {
+
+std::string Lower(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<PairwiseModel> MakeMatcher(const std::string& name,
+                                           const MatcherOptions& options) {
+  const std::string key = Lower(name);
+  if (key == "hiergat") {
+    HierGatConfig config;
+    config.lm_size = options.lm_size;
+    if (options.lm_pretrain_steps >= 0) {
+      config.lm_pretrain_steps = options.lm_pretrain_steps;
+    }
+    return std::make_unique<HierGatModel>(config);
+  }
+  if (key == "ditto") {
+    DittoConfig config;
+    config.lm_size = options.lm_size;
+    if (options.lm_pretrain_steps >= 0) {
+      config.lm_pretrain_steps = options.lm_pretrain_steps;
+    }
+    return std::make_unique<DittoModel>(config);
+  }
+  if (key == "deepmatcher" || key == "dm") {
+    return std::make_unique<DeepMatcherModel>();
+  }
+  if (key == "dm+" || key == "dmplus") {
+    return std::make_unique<DmPlusModel>();
+  }
+  if (key == "magellan") {
+    return std::make_unique<MagellanModel>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<CollectiveModel> MakeCollectiveMatcher(
+    const std::string& name, const MatcherOptions& options) {
+  const std::string key = Lower(name);
+  if (key == "hiergat+" || key == "hiergatplus") {
+    HierGatPlusConfig config;
+    config.lm_size = options.lm_size;
+    if (options.lm_pretrain_steps >= 0) {
+      config.lm_pretrain_steps = options.lm_pretrain_steps;
+    }
+    return std::make_unique<HierGatPlusModel>(config);
+  }
+  if (key == "gcn") return std::make_unique<GcnCollectiveModel>();
+  if (key == "gat") return std::make_unique<GatCollectiveModel>();
+  if (key == "hgat") return std::make_unique<HgatCollectiveModel>();
+  return nullptr;
+}
+
+}  // namespace hiergat

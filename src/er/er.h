@@ -1,0 +1,51 @@
+#ifndef HIERGAT_ER_ER_H_
+#define HIERGAT_ER_ER_H_
+
+/// Umbrella header: the public surface of the ER system in one include.
+/// Typical flow: load/generate a dataset, MakeMatcher(...), Train, then
+/// batch-score blocker output through InferenceEngine (or ScoreBatch).
+
+#include <memory>
+#include <string>
+
+#include "blocking/blocker.h"
+#include "data/csv.h"
+#include "data/entity.h"
+#include "data/synthetic.h"
+#include "er/baselines/deepmatcher.h"
+#include "er/baselines/ditto.h"
+#include "er/baselines/gnn.h"
+#include "er/baselines/magellan.h"
+#include "er/engine.h"
+#include "er/hiergat.h"
+#include "er/hiergat_plus.h"
+#include "er/metrics.h"
+#include "er/model.h"
+#include "er/summary_cache.h"
+
+namespace hiergat {
+
+/// Knobs shared by every matcher the factory can build; model-specific
+/// hyper-parameters keep their defaults (construct the concrete class
+/// directly to tune those). The run seed stays in TrainOptions.
+struct MatcherOptions {
+  LmSize lm_size = LmSize::kMedium;
+  /// Masked-LM pre-training steps for LM-backed matchers; negative
+  /// keeps each model's own default. Ignored by models without an LM.
+  int lm_pretrain_steps = -1;
+};
+
+/// Builds a pairwise matcher by name: "hiergat", "ditto", "deepmatcher"
+/// (alias "dm"), "dm+", or "magellan" (case-insensitive). Returns
+/// nullptr for unknown names.
+std::unique_ptr<PairwiseModel> MakeMatcher(
+    const std::string& name, const MatcherOptions& options = MatcherOptions());
+
+/// Builds a collective matcher by name: "hiergat+", "gcn", "gat", or
+/// "hgat" (case-insensitive). Returns nullptr for unknown names.
+std::unique_ptr<CollectiveModel> MakeCollectiveMatcher(
+    const std::string& name, const MatcherOptions& options = MatcherOptions());
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_ER_H_

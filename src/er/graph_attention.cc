@@ -1,6 +1,7 @@
 #include "er/graph_attention.h"
 
 #include "core/logging.h"
+#include "nn/introspection.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -24,7 +25,7 @@ Tensor GraphAttentionPool::Pool(const Tensor& score_inputs,
   if (w_) h = w_->Forward(h);
   Tensor scores = scorer_->Forward(LeakyRelu(h));      // [n, 1]
   Tensor weights = Softmax(Transpose(scores));         // [1, n]
-  last_weights_ = weights.Detach();
+  if (AttentionRecordingEnabled()) last_weights_ = weights.Detach();
   return MatMul(weights, values);                      // [1, Dv]
 }
 

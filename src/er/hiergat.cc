@@ -12,7 +12,7 @@ HierGatModel::HierGatModel(const HierGatConfig& config) : config_(config) {}
 
 HierGatModel::~HierGatModel() = default;
 
-void HierGatModel::Build(const PairDataset& data) {
+void HierGatModel::Build(const PairDataset& data, uint64_t seed) {
   HG_CHECK(!data.train.empty() || !data.test.empty());
   const EntityPair& proto =
       data.train.empty() ? data.test.front() : data.train.front();
@@ -20,8 +20,8 @@ void HierGatModel::Build(const PairDataset& data) {
   HG_CHECK_GT(num_attributes_, 0);
 
   backbone_ = MakeBackbone(data, config_.lm_size, config_.lm_pretrain_steps,
-                           config_.seed);
-  Rng rng(config_.seed ^ 0x1234u);
+                           seed);
+  Rng rng(seed ^ 0x1234u);
   contextual_ = std::make_unique<ContextualEmbedder>(backbone_.lm.get(),
                                                      config_.context, rng);
   aggregator_ = std::make_unique<HierarchicalAggregator>(
@@ -32,27 +32,33 @@ void HierGatModel::Build(const PairDataset& data) {
       std::vector<int>{backbone_.lm->dim(), config_.classifier_hidden, 2},
       rng);
   built_ = true;
+  summary_cache_.Clear();
 }
 
 void HierGatModel::Train(const PairDataset& data,
                          const TrainOptions& options) {
-  Build(data);
+  Build(data, options.seed);
   NeuralPairwiseModel::Train(data, options);
 }
 
-Tensor HierGatModel::ForwardSimilarity(const EntityPair& pair,
-                                       bool training) {
+Tensor HierGatModel::ForwardSimilarity(const EntityPair& pair, bool training,
+                                       Rng& rng) const {
   const Hhg hhg = Hhg::Build({pair.left, pair.right});
-  const Tensor wpc = contextual_->Compute(hhg, training, rng());
+  SummaryCache* cache =
+      (!training && cache_enabled_) ? &summary_cache_ : nullptr;
+  const Tensor wpc = contextual_->Compute(hhg, training, rng, cache);
 
-  // Hierarchical aggregation per entity.
+  // Hierarchical aggregation per entity. (The summaries read the WpC
+  // rows, which couple both entities through shared token nodes and
+  // key-group context — so unlike the per-attribute terms above they
+  // are pair-specific and never cached.)
   std::vector<std::vector<Tensor>> attr_embeddings(2);
   std::vector<Tensor> entity_embeddings(2);
   for (int e = 0; e < 2; ++e) {
     for (int attr_id : hhg.entity(e).attributes) {
       attr_embeddings[static_cast<size_t>(e)].push_back(
           aggregator_->SummarizeAttribute(
-              wpc, hhg.attribute(attr_id).token_seq, training, rng()));
+              wpc, hhg.attribute(attr_id).token_seq, training, rng));
     }
     entity_embeddings[static_cast<size_t>(e)] =
         aggregator_->SummarizeEntity(attr_embeddings[static_cast<size_t>(e)]);
@@ -68,16 +74,34 @@ Tensor HierGatModel::ForwardSimilarity(const EntityPair& pair,
   for (int a = 0; a < k; ++a) {
     similarities.push_back(comparator_->CompareAttribute(
         attr_embeddings[0][static_cast<size_t>(a)],
-        attr_embeddings[1][static_cast<size_t>(a)], training, rng()));
+        attr_embeddings[1][static_cast<size_t>(a)], training, rng));
   }
   return comparator_->CombineViews(similarities, entity_embeddings[0],
                                    entity_embeddings[1]);
 }
 
-Tensor HierGatModel::ForwardLogits(const EntityPair& pair, bool training) {
+Tensor HierGatModel::ForwardLogits(const EntityPair& pair, bool training,
+                                   Rng& rng) const {
   HG_CHECK(built_) << "HierGatModel::Train must run before inference";
-  return classifier_->Forward(ForwardSimilarity(pair, training));
+  return classifier_->Forward(ForwardSimilarity(pair, training, rng));
 }
+
+std::vector<float> HierGatModel::ScoreBatch(
+    std::span<const EntityPair> pairs) const {
+  NoGradGuard no_grad;
+  Rng unused(0);
+  std::vector<float> probabilities;
+  probabilities.reserve(pairs.size());
+  for (const EntityPair& pair : pairs) {
+    // Every pair in the batch shares summary_cache_, so repeated
+    // attribute values hit the memo from the second occurrence on.
+    Tensor probs = Softmax(ForwardLogits(pair, /*training=*/false, unused));
+    probabilities.push_back(probs.at(0, 1));
+  }
+  return probabilities;
+}
+
+void HierGatModel::InvalidateInferenceCache() const { summary_cache_.Clear(); }
 
 std::vector<Tensor> HierGatModel::TrainableParameters() const {
   std::vector<Tensor> params;
@@ -97,11 +121,14 @@ std::vector<float> HierGatModel::ParameterLrMultipliers() const {
 }
 
 HierGatModel::AttentionReport HierGatModel::InspectAttention(
-    const EntityPair& pair) {
+    const EntityPair& pair) const {
   HG_CHECK(built_);
+  NoGradGuard no_grad;
+  Rng unused(0);
   AttentionReport report;
   const Hhg hhg = Hhg::Build({pair.left, pair.right});
-  const Tensor wpc = contextual_->Compute(hhg, /*training=*/false, rng());
+  const Tensor wpc =
+      contextual_->Compute(hhg, /*training=*/false, unused);
 
   std::vector<std::vector<Tensor>> attr_embeddings(2);
   std::vector<Tensor> entity_embeddings(2);
@@ -111,7 +138,7 @@ HierGatModel::AttentionReport HierGatModel::InspectAttention(
       const Hhg::AttributeNode& attr = hhg.attribute(attr_id);
       attr_embeddings[static_cast<size_t>(e)].push_back(
           aggregator_->SummarizeAttribute(wpc, attr.token_seq,
-                                          /*training=*/false, rng()));
+                                          /*training=*/false, unused));
       AttentionReport::AttributeAttention viz;
       viz.key = attr.key;
       for (int t : attr.token_seq) viz.tokens.push_back(hhg.token(t));
@@ -127,7 +154,7 @@ HierGatModel::AttentionReport HierGatModel::InspectAttention(
     similarities.push_back(comparator_->CompareAttribute(
         attr_embeddings[0][static_cast<size_t>(a)],
         attr_embeddings[1][static_cast<size_t>(a)], /*training=*/false,
-        rng()));
+        unused));
   }
   Tensor similarity = comparator_->CombineViews(
       similarities, entity_embeddings[0], entity_embeddings[1]);

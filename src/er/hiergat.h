@@ -2,6 +2,7 @@
 #define HIERGAT_ER_HIERGAT_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,12 +10,17 @@
 #include "er/comparison.h"
 #include "er/contextual.h"
 #include "er/lm_backbone.h"
+#include "er/summary_cache.h"
 #include "er/trainer.h"
 #include "nn/mlp.h"
 
 namespace hiergat {
 
 /// Hyper-parameters of the pairwise HierGAT model (§3-5).
+///
+/// Randomness is NOT configured here: TrainOptions::seed is the single
+/// seed for a run and drives both the backbone pre-training and the
+/// fine-tuning stack (it takes precedence over any module default).
 struct HierGatConfig {
   LmSize lm_size = LmSize::kMedium;
   /// Context terms; the pairwise model leaves entity-level context off
@@ -26,7 +32,6 @@ struct HierGatConfig {
   int classifier_hidden = 32;
   /// Masked-LM steps used to "pre-train" the MiniLM backbone in-domain.
   int lm_pretrain_steps = 150;
-  uint64_t seed = 42;
 };
 
 /// The pairwise Hierarchical Graph Attention Transformer matcher.
@@ -46,6 +51,22 @@ class HierGatModel : public NeuralPairwiseModel {
   /// whole stack end-to-end.
   void Train(const PairDataset& data, const TrainOptions& options) override;
 
+  /// Batch scoring that shares the entity-summary cache across pairs:
+  /// each distinct attribute value is encoded/pooled once per batch run
+  /// instead of once per pair it appears in. Bit-identical to scoring
+  /// the pairs one by one.
+  std::vector<float> ScoreBatch(
+      std::span<const EntityPair> pairs) const override;
+
+  /// Drops the memoized attribute summaries (stale once parameters
+  /// move; the trainer calls this around validation passes).
+  void InvalidateInferenceCache() const override;
+
+  /// Toggles the inference-time summary cache (on by default; useful
+  /// for benchmarking the uncached path).
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  const SummaryCache& summary_cache() const { return summary_cache_; }
+
   /// Attention introspection for Figure 9: token weights within each
   /// attribute (from the attribute-summarization [CLS] attention) and
   /// the attribute weights h_k (Eq. 4).
@@ -60,21 +81,24 @@ class HierGatModel : public NeuralPairwiseModel {
     std::vector<float> attribute_weights;  // h_k per attribute pair.
     float match_probability = 0.0f;
   };
-  AttentionReport InspectAttention(const EntityPair& pair);
+  AttentionReport InspectAttention(const EntityPair& pair) const;
 
   const HierGatConfig& config() const { return config_; }
 
  protected:
-  Tensor ForwardLogits(const EntityPair& pair, bool training) override;
+  Tensor ForwardLogits(const EntityPair& pair, bool training,
+                       Rng& rng) const override;
   std::vector<Tensor> TrainableParameters() const override;
   std::vector<float> ParameterLrMultipliers() const override;
 
  private:
   /// Lazily constructs backbone + modules once the schema (K) is known.
-  void Build(const PairDataset& data);
+  /// `seed` comes from TrainOptions (see HierGatConfig).
+  void Build(const PairDataset& data, uint64_t seed);
 
   /// Shared forward: attribute embeddings, entity embeddings, similarity.
-  Tensor ForwardSimilarity(const EntityPair& pair, bool training);
+  Tensor ForwardSimilarity(const EntityPair& pair, bool training,
+                           Rng& rng) const;
 
   HierGatConfig config_;
   LmBackbone backbone_;
@@ -84,6 +108,8 @@ class HierGatModel : public NeuralPairwiseModel {
   std::unique_ptr<Mlp> classifier_;
   int num_attributes_ = 0;
   bool built_ = false;
+  bool cache_enabled_ = true;
+  mutable SummaryCache summary_cache_;
 };
 
 }  // namespace hiergat

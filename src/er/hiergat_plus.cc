@@ -13,14 +13,14 @@ HierGatPlusModel::HierGatPlusModel(const HierGatPlusConfig& config)
 
 HierGatPlusModel::~HierGatPlusModel() = default;
 
-void HierGatPlusModel::Build(const CollectiveDataset& data) {
+void HierGatPlusModel::Build(const CollectiveDataset& data, uint64_t seed) {
   HG_CHECK(!data.train.empty());
   num_attributes_ = data.train.front().query.num_attributes();
   HG_CHECK_GT(num_attributes_, 0);
 
   backbone_ = MakeBackboneCollective(data, config_.lm_size,
-                                     config_.lm_pretrain_steps, config_.seed);
-  Rng rng(config_.seed ^ 0x9876u);
+                                     config_.lm_pretrain_steps, seed);
+  Rng rng(seed ^ 0x9876u);
   contextual_ = std::make_unique<ContextualEmbedder>(backbone_.lm.get(),
                                                      config_.context, rng);
   aggregator_ = std::make_unique<HierarchicalAggregator>(
@@ -36,16 +36,21 @@ void HierGatPlusModel::Build(const CollectiveDataset& data) {
       std::vector<int>{backbone_.lm->dim(), config_.classifier_hidden, 2},
       rng);
   built_ = true;
+  summary_cache_.Clear();
 }
 
 void HierGatPlusModel::Train(const CollectiveDataset& data,
                              const TrainOptions& options) {
-  Build(data);
+  Build(data, options.seed);
   NeuralCollectiveModel::Train(data, options);
 }
 
+void HierGatPlusModel::InvalidateInferenceCache() const {
+  summary_cache_.Clear();
+}
+
 Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
-                                            bool training) {
+                                            bool training, Rng& rng) const {
   HG_CHECK(built_) << "HierGatPlusModel::Train must run before inference";
   // One HHG for the query and all candidates (Figure 2's relation
   // network lives inside this shared graph).
@@ -55,7 +60,8 @@ Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
   entities.insert(entities.end(), query.candidates.begin(),
                   query.candidates.end());
   const Hhg hhg = Hhg::Build(entities);
-  const Tensor wpc = contextual_->Compute(hhg, training, rng());
+  SummaryCache* cache = training ? nullptr : &summary_cache_;
+  const Tensor wpc = contextual_->Compute(hhg, training, rng, cache);
 
   const int m = hhg.num_entities();
   std::vector<std::vector<Tensor>> attr_embeddings(
@@ -66,7 +72,7 @@ Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
     for (int attr_id : hhg.entity(e).attributes) {
       attr_embeddings[static_cast<size_t>(e)].push_back(
           aggregator_->SummarizeAttribute(
-              wpc, hhg.attribute(attr_id).token_seq, training, rng()));
+              wpc, hhg.attribute(attr_id).token_seq, training, rng));
     }
     // Schema sanity: all entities share the dataset's K attributes.
     HG_CHECK_EQ(static_cast<int>(attr_embeddings[static_cast<size_t>(e)].size()),
@@ -94,7 +100,7 @@ Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
       similarities.push_back(comparator_->CompareAttribute(
           attr_embeddings[0][static_cast<size_t>(a)],
           attr_embeddings[static_cast<size_t>(c)][static_cast<size_t>(a)],
-          training, rng()));
+          training, rng));
     }
     Tensor candidate_entity = SliceRows(entity_matrix, c, c + 1);
     Tensor similarity = comparator_->CombineViews(similarities, query_entity,

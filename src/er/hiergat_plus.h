@@ -10,12 +10,14 @@
 #include "er/contextual.h"
 #include "er/hiergat.h"
 #include "er/lm_backbone.h"
+#include "er/summary_cache.h"
 #include "er/trainer.h"
 #include "nn/mlp.h"
 
 namespace hiergat {
 
-/// Hyper-parameters of the collective HierGAT+ model.
+/// Hyper-parameters of the collective HierGAT+ model. As with
+/// HierGatConfig, the run seed lives in TrainOptions, not here.
 struct HierGatPlusConfig {
   LmSize lm_size = LmSize::kMedium;
   ContextualConfig context;  ///< Entity-level context ON by default here.
@@ -28,7 +30,6 @@ struct HierGatPlusConfig {
   float dropout = 0.1f;
   int classifier_hidden = 32;
   int lm_pretrain_steps = 100;
-  uint64_t seed = 42;
 
   HierGatPlusConfig() { context.use_entity_context = true; }
 };
@@ -48,14 +49,17 @@ class HierGatPlusModel : public NeuralCollectiveModel {
   void Train(const CollectiveDataset& data,
              const TrainOptions& options) override;
 
+  /// See HierGatModel::InvalidateInferenceCache.
+  void InvalidateInferenceCache() const override;
+
  protected:
-  Tensor ForwardQueryLogits(const CollectiveQuery& query,
-                            bool training) override;
+  Tensor ForwardQueryLogits(const CollectiveQuery& query, bool training,
+                            Rng& rng) const override;
   std::vector<Tensor> TrainableParameters() const override;
   std::vector<float> ParameterLrMultipliers() const override;
 
  private:
-  void Build(const CollectiveDataset& data);
+  void Build(const CollectiveDataset& data, uint64_t seed);
 
   HierGatPlusConfig config_;
   LmBackbone backbone_;
@@ -66,6 +70,7 @@ class HierGatPlusModel : public NeuralCollectiveModel {
   std::unique_ptr<Mlp> classifier_;
   int num_attributes_ = 0;
   bool built_ = false;
+  mutable SummaryCache summary_cache_;
 };
 
 }  // namespace hiergat

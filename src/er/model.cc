@@ -1,21 +1,34 @@
 #include "er/model.h"
 
+#include "tensor/tensor.h"
+
 namespace hiergat {
 
-EvalResult PairwiseModel::Evaluate(const std::vector<EntityPair>& pairs) {
+std::vector<float> PairwiseModel::ScoreBatch(
+    std::span<const EntityPair> pairs) const {
+  NoGradGuard no_grad;  // Inference never needs the autograd graph.
   std::vector<float> probabilities;
-  std::vector<int> labels;
   probabilities.reserve(pairs.size());
-  labels.reserve(pairs.size());
   for (const EntityPair& pair : pairs) {
-    probabilities.push_back(PredictProbability(pair));
-    labels.push_back(pair.label);
+    probabilities.push_back(ScorePair(pair));
   }
+  return probabilities;
+}
+
+float PairwiseModel::PredictProbability(const EntityPair& pair) const {
+  return ScoreBatch(std::span<const EntityPair>(&pair, 1)).front();
+}
+
+EvalResult PairwiseModel::Evaluate(std::span<const EntityPair> pairs) const {
+  const std::vector<float> probabilities = ScoreBatch(pairs);
+  std::vector<int> labels;
+  labels.reserve(pairs.size());
+  for (const EntityPair& pair : pairs) labels.push_back(pair.label);
   return ComputeMetrics(probabilities, labels);
 }
 
 EvalResult CollectiveModel::Evaluate(
-    const std::vector<CollectiveQuery>& queries) {
+    std::span<const CollectiveQuery> queries) const {
   std::vector<float> probabilities;
   std::vector<int> labels;
   for (const CollectiveQuery& query : queries) {
@@ -53,17 +66,17 @@ void PairwiseAsCollective::Train(const CollectiveDataset& data,
 }
 
 std::vector<float> PairwiseAsCollective::PredictQuery(
-    const CollectiveQuery& query) {
-  std::vector<float> probs;
-  probs.reserve(query.candidates.size());
+    const CollectiveQuery& query) const {
+  std::vector<EntityPair> pairs;
+  pairs.reserve(query.candidates.size());
   for (size_t i = 0; i < query.candidates.size(); ++i) {
     EntityPair pair;
     pair.left = query.query;
     pair.right = query.candidates[i];
     pair.label = query.labels[i];
-    probs.push_back(pairwise_->PredictProbability(pair));
+    pairs.push_back(std::move(pair));
   }
-  return probs;
+  return pairwise_->ScoreBatch(pairs);
 }
 
 }  // namespace hiergat

@@ -1,6 +1,7 @@
 #ifndef HIERGAT_ER_MODEL_H_
 #define HIERGAT_ER_MODEL_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,10 @@ struct TrainOptions {
   float lr = 2e-3f;
   int batch_size = 16;
   float grad_clip = 5.0f;
+  /// The single source of randomness for a training run: backbone
+  /// initialization and pre-training, head initialization, shuffling,
+  /// dropout, and augmentation are all derived from this seed (model
+  /// configs no longer carry their own; see HierGatConfig).
   uint64_t seed = 42;
   bool verbose = false;
   /// If > 0, subsample the training split to this many pairs/queries
@@ -28,6 +33,15 @@ struct TrainOptions {
 };
 
 /// A pairwise ER matcher (§2.1): judges candidate pairs independently.
+///
+/// Inference API: `ScoreBatch` is the primary entry point — blockers
+/// emit candidate *batches*, and the batch form is what lets a matcher
+/// amortize per-entity work (see HierGatModel's summary cache) and the
+/// InferenceEngine spread ranges across worker threads. Scoring is
+/// const: inference never mutates the model, so concurrent ScoreBatch
+/// calls on one trained model are safe. `PredictProbability` remains as
+/// a thin convenience wrapper for one-off pairs; hand-rolled per-pair
+/// loops over it are deprecated in favor of ScoreBatch / the engine.
 class PairwiseModel {
  public:
   virtual ~PairwiseModel() = default;
@@ -38,11 +52,29 @@ class PairwiseModel {
   /// selection.
   virtual void Train(const PairDataset& data, const TrainOptions& options) = 0;
 
-  /// P(match) for one candidate pair.
-  virtual float PredictProbability(const EntityPair& pair) = 0;
+  /// P(match) for each pair, in order. The default implementation loops
+  /// over `ScorePair` with autograd disabled; models override it to
+  /// share work across the batch. Must be deterministic and independent
+  /// of how a larger batch was split (the InferenceEngine relies on
+  /// this for thread-count-invariant results).
+  virtual std::vector<float> ScoreBatch(
+      std::span<const EntityPair> pairs) const;
 
-  /// P/R/F1 over a pair list.
-  EvalResult Evaluate(const std::vector<EntityPair>& pairs);
+  /// P(match) for one candidate pair — a convenience wrapper over
+  /// ScoreBatch.
+  float PredictProbability(const EntityPair& pair) const;
+
+  /// P/R/F1 over a pair list (routed through ScoreBatch).
+  EvalResult Evaluate(std::span<const EntityPair> pairs) const;
+
+  /// Drops memoized inference state (entity-summary caches). Called by
+  /// the trainer whenever parameters are about to change under a
+  /// previously scored model; a no-op for models without caches.
+  virtual void InvalidateInferenceCache() const {}
+
+ protected:
+  /// Single-pair hook used by the default ScoreBatch loop.
+  virtual float ScorePair(const EntityPair& pair) const = 0;
 };
 
 /// A collective ER matcher (§2.1, Figure 2): decides a query's N
@@ -56,16 +88,23 @@ class CollectiveModel {
   virtual void Train(const CollectiveDataset& data,
                      const TrainOptions& options) = 0;
 
-  /// P(match) for each candidate of `query` (size = #candidates).
-  virtual std::vector<float> PredictQuery(const CollectiveQuery& query) = 0;
+  /// P(match) for each candidate of `query` (size = #candidates). The
+  /// query's candidate set *is* the batch in collective ER; inference
+  /// is const and thread-safe per the same contract as ScoreBatch.
+  virtual std::vector<float> PredictQuery(
+      const CollectiveQuery& query) const = 0;
 
   /// P/R/F1 over all candidates of all queries.
-  EvalResult Evaluate(const std::vector<CollectiveQuery>& queries);
+  EvalResult Evaluate(std::span<const CollectiveQuery> queries) const;
+
+  /// See PairwiseModel::InvalidateInferenceCache.
+  virtual void InvalidateInferenceCache() const {}
 };
 
 /// Runs a pairwise matcher on collective data by scoring each
 /// (query, candidate) pair independently — how MG/DM/Ditto/HierGAT
-/// appear in Table 7.
+/// appear in Table 7. PredictQuery routes the candidate set through the
+/// pairwise batch path.
 class PairwiseAsCollective : public CollectiveModel {
  public:
   explicit PairwiseAsCollective(PairwiseModel* pairwise)
@@ -74,7 +113,10 @@ class PairwiseAsCollective : public CollectiveModel {
   std::string name() const override { return pairwise_->name(); }
   void Train(const CollectiveDataset& data,
              const TrainOptions& options) override;
-  std::vector<float> PredictQuery(const CollectiveQuery& query) override;
+  std::vector<float> PredictQuery(const CollectiveQuery& query) const override;
+  void InvalidateInferenceCache() const override {
+    pairwise_->InvalidateInferenceCache();
+  }
 
  private:
   PairwiseModel* pairwise_;  // Not owned.

@@ -1,0 +1,38 @@
+#include "er/summary_cache.h"
+
+namespace hiergat {
+
+Tensor SummaryCache::GetOrCompute(const std::string& key,
+                                  const std::function<Tensor()>& compute) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      return it->second;
+    }
+  }
+  // Detach so the cache holds plain values, not autograd graphs.
+  Tensor value = compute().Detach();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.misses;
+  auto [it, inserted] = entries_.emplace(key, std::move(value));
+  return it->second;
+}
+
+void SummaryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+size_t SummaryCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+SummaryCache::Stats SummaryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace hiergat

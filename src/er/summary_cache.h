@@ -1,0 +1,58 @@
+#ifndef HIERGAT_ER_SUMMARY_CACHE_H_
+#define HIERGAT_ER_SUMMARY_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "tensor/tensor.h"
+
+namespace hiergat {
+
+/// Thread-safe memo table for entity-summarization tensors.
+///
+/// Downstream of blocking the same entity appears in many candidate
+/// pairs (and in a collective query every candidate shares the graph
+/// with the query), so the per-attribute-value parts of the forward
+/// pass — the token-level contextual encoding and the attribute-context
+/// pooling, which depend only on the attribute's own token sequence —
+/// are recomputed over and over. The cache keys those tensors by the
+/// token sequence and returns bit-identical copies, so batched scoring
+/// matches the uncached path exactly regardless of batch composition,
+/// thread count, or visit order.
+///
+/// Only inference may consult the cache: cached tensors are detached,
+/// and entries are only valid for the parameter values they were
+/// computed under (owners clear the cache when parameters change; see
+/// PairwiseModel::InvalidateInferenceCache).
+class SummaryCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+  };
+
+  /// Returns the cached tensor for `key`, computing (and storing) it
+  /// via `compute` on a miss. `compute` runs outside the lock; if two
+  /// threads race on the same key, both compute the same deterministic
+  /// value and the first insert wins.
+  Tensor GetOrCompute(const std::string& key,
+                      const std::function<Tensor()>& compute);
+
+  /// Drops every entry (parameters changed or memory reclaim).
+  void Clear();
+
+  size_t size() const;
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Tensor> entries_;
+  Stats stats_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_SUMMARY_CACHE_H_

@@ -102,14 +102,25 @@ void NeuralPairwiseModel::Train(const PairDataset& data,
       data.train, !data.valid.empty(), options, TrainableParameters(),
       ParameterLrMultipliers(), rng_,
       [this](const EntityPair& pair) {
-        Tensor logits = ForwardLogits(pair, /*training=*/true);
+        Tensor logits = ForwardLogits(pair, /*training=*/true, rng_);
         return SoftmaxCrossEntropy(logits, {pair.label});
       },
-      [this, &data]() { return Evaluate(data.valid).f1; }, name());
+      [this, &data]() {
+        // Adam just moved the parameters, so memoized summaries are stale.
+        InvalidateInferenceCache();
+        return Evaluate(data.valid).f1;
+      },
+      name());
+  // Best-epoch restore (or the final step) changed the parameters again.
+  InvalidateInferenceCache();
 }
 
-float NeuralPairwiseModel::PredictProbability(const EntityPair& pair) {
-  Tensor logits = ForwardLogits(pair, /*training=*/false);
+float NeuralPairwiseModel::ScorePair(const EntityPair& pair) const {
+  NoGradGuard no_grad;
+  // Inference draws nothing from the RNG; a throwaway stream keeps the
+  // signature uniform without perturbing the training stream.
+  Rng unused(0);
+  Tensor logits = ForwardLogits(pair, /*training=*/false, unused);
   Tensor probs = Softmax(logits);
   return probs.at(0, 1);
 }
@@ -124,15 +135,22 @@ void NeuralCollectiveModel::Train(const CollectiveDataset& data,
       data.train, !data.valid.empty(), per_query, TrainableParameters(),
       ParameterLrMultipliers(), rng_,
       [this](const CollectiveQuery& query) {
-        Tensor logits = ForwardQueryLogits(query, /*training=*/true);
+        Tensor logits = ForwardQueryLogits(query, /*training=*/true, rng_);
         return SoftmaxCrossEntropy(logits, query.labels);
       },
-      [this, &data]() { return Evaluate(data.valid).f1; }, name());
+      [this, &data]() {
+        InvalidateInferenceCache();
+        return Evaluate(data.valid).f1;
+      },
+      name());
+  InvalidateInferenceCache();
 }
 
 std::vector<float> NeuralCollectiveModel::PredictQuery(
-    const CollectiveQuery& query) {
-  Tensor logits = ForwardQueryLogits(query, /*training=*/false);
+    const CollectiveQuery& query) const {
+  NoGradGuard no_grad;
+  Rng unused(0);
+  Tensor logits = ForwardQueryLogits(query, /*training=*/false, unused);
   Tensor probs = Softmax(logits);
   std::vector<float> result;
   result.reserve(static_cast<size_t>(probs.dim(0)));

@@ -22,20 +22,26 @@ void RestoreParameters(const std::vector<std::vector<float>>& snapshot,
 class NeuralPairwiseModel : public PairwiseModel {
  public:
   void Train(const PairDataset& data, const TrainOptions& options) override;
-  float PredictProbability(const EntityPair& pair) override;
 
   /// Seconds spent inside the last Train() call (Figure 11).
   double last_train_seconds() const { return last_train_seconds_; }
 
  protected:
   /// Match logits [1, 2] for one pair. Rebuilds the graph every call.
-  virtual Tensor ForwardLogits(const EntityPair& pair, bool training) = 0;
+  /// With training=false the pass must be deterministic and must not
+  /// draw from `rng` (dropout and augmentation are off), which is what
+  /// makes const concurrent inference sound; `rng` feeds those layers
+  /// during training.
+  virtual Tensor ForwardLogits(const EntityPair& pair, bool training,
+                               Rng& rng) const = 0;
   /// All trainable parameters.
   virtual std::vector<Tensor> TrainableParameters() const = 0;
   /// Optional per-parameter lr multipliers (parallel to
   /// TrainableParameters); empty means 1.0 everywhere. Lets pre-trained
   /// backbone tensors fine-tune slower than fresh heads.
   virtual std::vector<float> ParameterLrMultipliers() const { return {}; }
+
+  float ScorePair(const EntityPair& pair) const override;
 
   Rng& rng() { return rng_; }
 
@@ -50,14 +56,15 @@ class NeuralCollectiveModel : public CollectiveModel {
  public:
   void Train(const CollectiveDataset& data,
              const TrainOptions& options) override;
-  std::vector<float> PredictQuery(const CollectiveQuery& query) override;
+  std::vector<float> PredictQuery(const CollectiveQuery& query) const override;
 
   double last_train_seconds() const { return last_train_seconds_; }
 
  protected:
-  /// Match logits [N, 2], one row per candidate of `query`.
+  /// Match logits [N, 2], one row per candidate of `query`. Same
+  /// training/rng contract as NeuralPairwiseModel::ForwardLogits.
   virtual Tensor ForwardQueryLogits(const CollectiveQuery& query,
-                                    bool training) = 0;
+                                    bool training, Rng& rng) const = 0;
   virtual std::vector<Tensor> TrainableParameters() const = 0;
   /// See NeuralPairwiseModel::ParameterLrMultipliers.
   virtual std::vector<float> ParameterLrMultipliers() const { return {}; }

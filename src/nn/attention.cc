@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "nn/introspection.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -72,14 +73,18 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& q_input,
     Tensor scores = Scale(MatMul(q, Transpose(k)), scale);  // [Lq, Lk]
     if (diag_mask.defined()) scores = Add(scores, diag_mask);
     Tensor attn = Softmax(scores);
-    attn_sum = attn_sum.defined() ? Add(attn_sum, attn.Detach())
-                                  : attn.Detach();
+    if (AttentionRecordingEnabled()) {
+      attn_sum = attn_sum.defined() ? Add(attn_sum, attn.Detach())
+                                    : attn.Detach();
+    }
     head_outputs.push_back(MatMul(attn, v));    // [Lq, hd]
   }
-  last_attention_ =
-      Tensor::FromVector(attn_sum.shape(), attn_sum.data());
-  for (float& v : last_attention_.data())
-    v /= static_cast<float>(num_heads_);
+  if (attn_sum.defined()) {
+    last_attention_ =
+        Tensor::FromVector(attn_sum.shape(), attn_sum.data());
+    for (float& v : last_attention_.data())
+      v /= static_cast<float>(num_heads_);
+  }
   return out_proj_->Forward(ConcatCols(head_outputs));
 }
 

@@ -1,0 +1,49 @@
+#ifndef HIERGAT_NN_INTROSPECTION_H_
+#define HIERGAT_NN_INTROSPECTION_H_
+
+namespace hiergat {
+
+// Attention-introspection switch.
+//
+// Several modules keep a snapshot of their latest attention weights in a
+// `mutable` member so visualizations (Figure 9, InspectAttention) can
+// read them after a forward pass. Those writes are harmless on a single
+// thread but are data races when the inference engine scores pairs from
+// a worker pool, and they cost time on every forward even when nobody
+// reads them. The flag below is thread-local: engine workers turn
+// recording off for their own forwards while the main thread keeps the
+// default-on behavior, so existing introspection code is unaffected.
+
+namespace internal_introspection {
+inline thread_local bool g_record_attention = true;
+}  // namespace internal_introspection
+
+/// True when attention snapshots should be recorded on this thread.
+inline bool AttentionRecordingEnabled() {
+  return internal_introspection::g_record_attention;
+}
+
+/// Sets the flag for the current thread (workers call this once at
+/// startup); returns the previous value.
+inline bool SetAttentionRecording(bool enabled) {
+  const bool previous = internal_introspection::g_record_attention;
+  internal_introspection::g_record_attention = enabled;
+  return previous;
+}
+
+/// RAII scope for temporarily toggling recording on the current thread.
+class AttentionRecordingGuard {
+ public:
+  explicit AttentionRecordingGuard(bool enabled)
+      : previous_(SetAttentionRecording(enabled)) {}
+  ~AttentionRecordingGuard() { SetAttentionRecording(previous_); }
+  AttentionRecordingGuard(const AttentionRecordingGuard&) = delete;
+  AttentionRecordingGuard& operator=(const AttentionRecordingGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_NN_INTROSPECTION_H_

@@ -15,9 +15,11 @@ namespace {
 // node captures itself) that leaks every computation graph.
 using Impl = internal_tensor::TensorImpl*;
 
-bool AnyRequiresGrad(const Tensor& a) { return a.requires_grad(); }
+bool AnyRequiresGrad(const Tensor& a) {
+  return GradModeEnabled() && a.requires_grad();
+}
 bool AnyRequiresGrad(const Tensor& a, const Tensor& b) {
-  return a.requires_grad() || b.requires_grad();
+  return GradModeEnabled() && (a.requires_grad() || b.requires_grad());
 }
 
 /// True when `b` is a rank-1 bias broadcastable over the rows of `a`.
@@ -257,6 +259,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     rows += p.dim(0);
     rg = rg || p.requires_grad();
   }
+  rg = rg && GradModeEnabled();
   Tensor out = Tensor::MakeNode({rows, cols}, rg, parts);
   size_t offset = 0;
   for (const Tensor& p : parts) {
@@ -293,6 +296,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     cols += p.dim(1);
     rg = rg || p.requires_grad();
   }
+  rg = rg && GradModeEnabled();
   Tensor out = Tensor::MakeNode({rows, cols}, rg, parts);
   int col_offset = 0;
   for (const Tensor& p : parts) {
@@ -535,8 +539,9 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   HG_CHECK_EQ(gamma.rank(), 1);
   HG_CHECK_EQ(gamma.dim(0), cols);
   HG_CHECK_EQ(beta.dim(0), cols);
-  const bool rg = x.requires_grad() || gamma.requires_grad() ||
-                  beta.requires_grad();
+  const bool rg = GradModeEnabled() &&
+                  (x.requires_grad() || gamma.requires_grad() ||
+                   beta.requires_grad());
   Tensor out = Tensor::MakeNode(x.shape(), rg, {x, gamma, beta});
   // Cache per-row inverse stddev and normalized values for backward.
   auto inv_std = std::make_shared<std::vector<float>>(rows);
@@ -635,7 +640,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   HG_CHECK_EQ(logits.rank(), 2);
   const int n = logits.dim(0), classes = logits.dim(1);
   HG_CHECK_EQ(static_cast<size_t>(n), labels.size());
-  const bool rg = logits.requires_grad();
+  const bool rg = GradModeEnabled() && logits.requires_grad();
   Tensor out = Tensor::MakeNode({1}, rg, {logits});
   auto probs = std::make_shared<std::vector<float>>(logits.data().size());
   float loss = 0.0f;

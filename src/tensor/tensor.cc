@@ -136,13 +136,25 @@ std::string Tensor::DebugString() const {
   return out.str();
 }
 
+namespace {
+thread_local bool g_grad_mode_enabled = true;
+}  // namespace
+
+bool GradModeEnabled() { return g_grad_mode_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_mode_enabled) {
+  g_grad_mode_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_mode_enabled = previous_; }
+
 Tensor Tensor::MakeNode(Shape shape, bool requires_grad,
                         std::vector<Tensor> parents) {
   auto impl = std::make_shared<internal_tensor::TensorImpl>();
   impl->shape = std::move(shape);
   impl->data.assign(static_cast<size_t>(NumElements(impl->shape)), 0.0f);
-  impl->requires_grad = requires_grad;
-  if (requires_grad) {
+  impl->requires_grad = requires_grad && g_grad_mode_enabled;
+  if (impl->requires_grad) {
     impl->parents.reserve(parents.size());
     for (const Tensor& p : parents) impl->parents.push_back(p.impl());
   }

@@ -45,6 +45,27 @@ struct TensorImpl {
 
 }  // namespace internal_tensor
 
+/// Thread-local autograd switch. While disabled (see NoGradGuard), ops
+/// produce plain value tensors: no parents, no backward closures, and
+/// requires_grad is forced off on every new node. Forward values are
+/// bit-identical either way; only the graph bookkeeping is skipped.
+bool GradModeEnabled();
+
+/// RAII scope that disables autograd on the current thread — the
+/// inference analogue of torch.no_grad(). Used by the batched scoring
+/// paths, where building a throwaway graph per pair costs both time and
+/// memory.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// A dense float32 tensor with reverse-mode automatic differentiation.
 ///
 /// Tensors are cheap shared handles: copying a Tensor aliases the same

@@ -1,0 +1,243 @@
+// Tests for the batched inference engine and the summary cache: the
+// batch path must be bit-identical to sequential per-pair scoring for
+// every model and any thread count, and the cache must be a pure memo
+// (same tensors as a cold forward, just cheaper).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "data/synthetic.h"
+#include "er/baselines/deepmatcher.h"
+#include "er/baselines/magellan.h"
+#include "er/engine.h"
+#include "er/hiergat.h"
+#include "er/summary_cache.h"
+#include "tensor/ops.h"
+
+namespace hiergat {
+namespace {
+
+PairDataset SmallDataset(uint64_t seed = 901) {
+  SyntheticSpec spec;
+  spec.name = "engine";
+  spec.num_pairs = 120;
+  spec.positive_ratio = 0.3f;
+  spec.num_attributes = 3;
+  spec.hardness = 0.4f;
+  spec.noise = 0.05f;
+  spec.desc_len = 6;
+  spec.seed = seed;
+  return GeneratePairDataset(spec);
+}
+
+TrainOptions TinyOptions() {
+  TrainOptions options;
+  options.epochs = 1;
+  options.lr = 2e-3f;
+  options.batch_size = 16;
+  options.seed = 7;
+  options.max_train_items = 8;
+  return options;
+}
+
+std::vector<float> SequentialScores(const PairwiseModel& model,
+                                    const std::vector<EntityPair>& pairs) {
+  std::vector<float> probs;
+  probs.reserve(pairs.size());
+  for (const EntityPair& pair : pairs) {
+    probs.push_back(model.PredictProbability(pair));
+  }
+  return probs;
+}
+
+void ExpectBitIdentical(const std::vector<float>& expected,
+                        const std::vector<float>& actual) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i], actual[i]) << "pair " << i;
+  }
+}
+
+TEST(SummaryCacheTest, MemoizesByKeyAndClears) {
+  SummaryCache cache;
+  std::atomic<int> computes{0};
+  auto make = [&] {
+    ++computes;
+    return Tensor::Full({1, 2}, 3.0f);
+  };
+  Tensor first = cache.GetOrCompute("k", make);
+  Tensor again = cache.GetOrCompute("k", make);
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(first.data(), again.data());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  cache.GetOrCompute("other", make);
+  EXPECT_EQ(computes.load(), 2);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.GetOrCompute("k", make);
+  EXPECT_EQ(computes.load(), 3) << "Clear must drop entries";
+}
+
+TEST(SummaryCacheTest, CachedTensorsAreDetached) {
+  SummaryCache cache;
+  Tensor value = cache.GetOrCompute("k", [] {
+    Tensor t = Tensor::Full({1, 2}, 1.0f, /*requires_grad=*/true);
+    return Add(t, t);
+  });
+  EXPECT_FALSE(value.requires_grad());
+}
+
+/// Shared trained models so the (expensive) training runs once.
+class EngineParityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new PairDataset(SmallDataset());
+
+    HierGatConfig hg_config;
+    hg_config.lm_size = LmSize::kSmall;
+    hg_config.lm_pretrain_steps = 0;
+    hiergat_ = new HierGatModel(hg_config);
+    hiergat_->Train(*data_, TinyOptions());
+
+    magellan_ = new MagellanModel();
+    magellan_->Train(*data_, TinyOptions());
+
+    deepmatcher_ = new DeepMatcherModel();
+    deepmatcher_->Train(*data_, TinyOptions());
+  }
+
+  static void TearDownTestSuite() {
+    delete deepmatcher_;
+    delete magellan_;
+    delete hiergat_;
+    delete data_;
+  }
+
+  static PairDataset* data_;
+  static HierGatModel* hiergat_;
+  static MagellanModel* magellan_;
+  static DeepMatcherModel* deepmatcher_;
+};
+
+PairDataset* EngineParityTest::data_ = nullptr;
+HierGatModel* EngineParityTest::hiergat_ = nullptr;
+MagellanModel* EngineParityTest::magellan_ = nullptr;
+DeepMatcherModel* EngineParityTest::deepmatcher_ = nullptr;
+
+TEST_F(EngineParityTest, ThreadCountInvariantAcrossModels) {
+  const std::vector<EntityPair>& pairs = data_->test;
+  for (const PairwiseModel* model :
+       {static_cast<const PairwiseModel*>(hiergat_),
+        static_cast<const PairwiseModel*>(magellan_),
+        static_cast<const PairwiseModel*>(deepmatcher_)}) {
+    const std::vector<float> sequential = SequentialScores(*model, pairs);
+
+    for (int threads : {1, 4}) {
+      EngineOptions options;
+      options.num_threads = threads;
+      options.min_grain = 2;
+      InferenceEngine engine(options);
+      const std::vector<float> batched = engine.Score(*model, pairs);
+      ExpectBitIdentical(sequential, batched);
+    }
+  }
+}
+
+TEST_F(EngineParityTest, ScoreBatchMatchesPerPairLoop) {
+  const std::vector<float> sequential =
+      SequentialScores(*hiergat_, data_->test);
+  const std::vector<float> batched = hiergat_->ScoreBatch(data_->test);
+  ExpectBitIdentical(sequential, batched);
+}
+
+TEST_F(EngineParityTest, WarmCacheMatchesColdForward) {
+  hiergat_->InvalidateInferenceCache();
+  hiergat_->set_cache_enabled(false);
+  const std::vector<float> cold = hiergat_->ScoreBatch(data_->test);
+  EXPECT_EQ(hiergat_->summary_cache().size(), 0u)
+      << "disabled cache must stay empty";
+
+  hiergat_->set_cache_enabled(true);
+  const std::vector<float> warming = hiergat_->ScoreBatch(data_->test);
+  const SummaryCache::Stats after_first = hiergat_->summary_cache().stats();
+  EXPECT_GT(after_first.misses, 0);
+  EXPECT_GT(after_first.hits, 0)
+      << "entities recur across candidate pairs, so one batch must hit";
+
+  const std::vector<float> warm = hiergat_->ScoreBatch(data_->test);
+  const SummaryCache::Stats after_second = hiergat_->summary_cache().stats();
+  EXPECT_EQ(after_second.misses, after_first.misses)
+      << "second pass must be all hits";
+
+  ExpectBitIdentical(cold, warming);
+  ExpectBitIdentical(cold, warm);
+
+  hiergat_->InvalidateInferenceCache();
+  EXPECT_EQ(hiergat_->summary_cache().size(), 0u);
+}
+
+TEST_F(EngineParityTest, EvaluateMatchesModelEvaluate) {
+  const EvalResult direct = hiergat_->Evaluate(data_->test);
+  EngineOptions options;
+  options.num_threads = 2;
+  InferenceEngine engine(options);
+  const EvalResult pooled = engine.Evaluate(*hiergat_, data_->test);
+  EXPECT_EQ(direct.f1, pooled.f1);
+  EXPECT_EQ(direct.precision, pooled.precision);
+  EXPECT_EQ(direct.recall, pooled.recall);
+}
+
+TEST_F(EngineParityTest, HandlesEmptyAndTinyBatches) {
+  EngineOptions options;
+  options.num_threads = 4;
+  InferenceEngine engine(options);
+  EXPECT_EQ(engine.num_threads(), 4);
+
+  EXPECT_TRUE(
+      engine.Score(*magellan_, std::span<const EntityPair>()).empty());
+
+  // Fewer items than workers: trailing slots are empty ranges.
+  const std::span<const EntityPair> two(data_->test.data(), 2);
+  const std::vector<float> batched = engine.Score(*magellan_, two);
+  ASSERT_EQ(batched.size(), 2u);
+  EXPECT_EQ(batched[0], magellan_->PredictProbability(data_->test[0]));
+  EXPECT_EQ(batched[1], magellan_->PredictProbability(data_->test[1]));
+}
+
+TEST_F(EngineParityTest, EngineIsReusableAcrossCallsAndModels) {
+  InferenceEngine engine(EngineOptions{.num_threads = 2, .min_grain = 1});
+  const std::span<const EntityPair> pairs(data_->test.data(), 8);
+  const std::vector<float> a = engine.Score(*hiergat_, pairs);
+  const std::vector<float> b = engine.Score(*magellan_, pairs);
+  const std::vector<float> c = engine.Score(*hiergat_, pairs);
+  ExpectBitIdentical(a, c);
+  ASSERT_EQ(b.size(), 8u);
+}
+
+TEST_F(EngineParityTest, PairwiseAsCollectiveRoutesThroughBatchPath) {
+  // Build a toy query from test pairs that share a left entity.
+  CollectiveQuery query;
+  query.query = data_->test[0].left;
+  for (int i = 0; i < 5; ++i) {
+    query.candidates.push_back(data_->test[static_cast<size_t>(i)].right);
+    query.labels.push_back(data_->test[static_cast<size_t>(i)].label);
+  }
+  PairwiseAsCollective adapter(hiergat_);
+  const std::vector<float> probs = adapter.PredictQuery(query);
+  ASSERT_EQ(probs.size(), 5u);
+  for (size_t i = 0; i < probs.size(); ++i) {
+    EntityPair pair;
+    pair.left = query.query;
+    pair.right = query.candidates[i];
+    EXPECT_EQ(probs[i], hiergat_->PredictProbability(pair)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hiergat

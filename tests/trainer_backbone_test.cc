@@ -41,7 +41,7 @@ class ToyPairwiseModel : public NeuralPairwiseModel {
   bool trained() const { return trained_; }
 
  protected:
-  Tensor ForwardLogits(const EntityPair& pair, bool) override {
+  Tensor ForwardLogits(const EntityPair& pair, bool, Rng&) const override {
     // Features: token overlap of the two sides + bias-ish constant.
     const auto lt = pair.left.AllValueTokens();
     const auto rt = pair.right.AllValueTokens();
