@@ -94,6 +94,12 @@ void InferenceEngine::WorkerLoop(int worker_id) {
     if (shutdown_) return;
     seen_generation = job_generation_;
     const std::function<void(int, int)> fn = job_fn_;
+    // job_fn_ is non-null only while a job is in flight (set before the
+    // generation bump, reset after completion, all under mutex_). A null
+    // copy means this worker slept through the whole job; it must not
+    // enter ProcessRanges, or it could claim ranges of a later job whose
+    // accounting it never joined.
+    if (!fn) continue;
     ++active_workers_;
     lock.unlock();
     const int processed = ProcessRanges(worker_id, fn);
@@ -136,6 +142,10 @@ int InferenceEngine::ProcessRanges(int worker_id,
 void InferenceEngine::RunJob(int total,
                              const std::function<void(int, int)>& process) {
   if (total <= 0) return;
+  // One job at a time: Score/Evaluate may be called from multiple
+  // caller threads, but slots_/job_fn_/done_items_ describe a single
+  // in-flight job, so callers queue here for the pool.
+  std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
   std::unique_lock<std::mutex> lock(mutex_);
   // Even contiguous partition of [0, total); trailing workers may get
   // an empty slot when there are fewer items than threads.

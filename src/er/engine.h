@@ -37,7 +37,9 @@ struct EngineOptions {
 /// HierGatModel::InspectAttention from the owning thread instead.
 ///
 /// The engine is reusable across calls and models; it does not own the
-/// models it scores.
+/// models it scores. Score/Evaluate may be called from multiple caller
+/// threads: the pool runs one job at a time and concurrent calls are
+/// serialized internally (each blocks until its own job completes).
 class InferenceEngine {
  public:
   explicit InferenceEngine(const EngineOptions& options = EngineOptions());
@@ -84,6 +86,9 @@ class InferenceEngine {
   int grain_;
   std::vector<Slot> slots_;
   std::vector<std::thread> threads_;
+
+  /// Serializes RunJob across caller threads; held for a whole job.
+  std::mutex jobs_mutex_;
 
   std::mutex mutex_;
   std::condition_variable cv_;       // Wakes workers on a new job.

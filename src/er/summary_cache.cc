@@ -16,6 +16,10 @@ Tensor SummaryCache::GetOrCompute(const std::string& key,
   Tensor value = compute().Detach();
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
+  if (entries_.size() >= max_entries_ && entries_.count(key) == 0) {
+    stats_.evictions += static_cast<int64_t>(entries_.size());
+    entries_.clear();
+  }
   auto [it, inserted] = entries_.emplace(key, std::move(value));
   return it->second;
 }

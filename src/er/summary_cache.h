@@ -27,12 +27,29 @@ namespace hiergat {
 /// and entries are only valid for the parameter values they were
 /// computed under (owners clear the cache when parameters change; see
 /// PairwiseModel::InvalidateInferenceCache).
+///
+/// Memory is bounded: once the table holds `max_entries` entries the
+/// next insert flushes it and starts over. Evicted values are simply
+/// recomputed on the next request — results are deterministic, so
+/// eviction never changes scores, only hit rate. Long runs over
+/// corpora with more than `max_entries` distinct attribute values
+/// therefore stay bounded without any caller-side Clear() discipline.
 class SummaryCache {
  public:
+  /// Default cap. Entries hold per-attribute-value summary tensors
+  /// (typically a few KB each), so this bounds the cache to low GBs in
+  /// the worst case; pass a smaller cap for memory-constrained runs.
+  static constexpr size_t kDefaultMaxEntries = 1 << 18;
+
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
+    /// Entries dropped by capacity flushes (not Clear()).
+    int64_t evictions = 0;
   };
+
+  explicit SummaryCache(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries > 0 ? max_entries : 1) {}
 
   /// Returns the cached tensor for `key`, computing (and storing) it
   /// via `compute` on a miss. `compute` runs outside the lock; if two
@@ -45,9 +62,11 @@ class SummaryCache {
   void Clear();
 
   size_t size() const;
+  size_t max_entries() const { return max_entries_; }
   Stats stats() const;
 
  private:
+  size_t max_entries_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Tensor> entries_;
   Stats stats_;

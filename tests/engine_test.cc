@@ -84,6 +84,27 @@ TEST(SummaryCacheTest, MemoizesByKeyAndClears) {
   EXPECT_EQ(computes.load(), 3) << "Clear must drop entries";
 }
 
+TEST(SummaryCacheTest, CapacityFlushBoundsSizeAndStaysCorrect) {
+  SummaryCache cache(/*max_entries=*/2);
+  auto make = [](float v) {
+    return [v] { return Tensor::Full({1, 2}, v); };
+  };
+  cache.GetOrCompute("a", make(1.0f));
+  cache.GetOrCompute("b", make(2.0f));
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Third distinct key flushes the full table, then inserts.
+  Tensor c = cache.GetOrCompute("c", make(3.0f));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 2);
+  EXPECT_EQ(c.data()[0], 3.0f);
+
+  // Evicted keys are simply recomputed with identical values.
+  Tensor a = cache.GetOrCompute("a", make(1.0f));
+  EXPECT_EQ(a.data()[0], 1.0f);
+  EXPECT_LE(cache.size(), 2u);
+}
+
 TEST(SummaryCacheTest, CachedTensorsAreDetached) {
   SummaryCache cache;
   Tensor value = cache.GetOrCompute("k", [] {
@@ -218,6 +239,23 @@ TEST_F(EngineParityTest, EngineIsReusableAcrossCallsAndModels) {
   const std::vector<float> c = engine.Score(*hiergat_, pairs);
   ExpectBitIdentical(a, c);
   ASSERT_EQ(b.size(), 8u);
+}
+
+TEST_F(EngineParityTest, RepeatedTinyJobsToleratStragglerWorkers) {
+  // Regression: with more workers than items, most workers sleep
+  // through each short job; a straggler waking after RunJob returned
+  // must not copy a null job_fn_ or claim ranges of the next job.
+  // Many back-to-back tiny jobs make that interleaving likely.
+  InferenceEngine engine(EngineOptions{.num_threads = 8, .min_grain = 1});
+  const std::span<const EntityPair> two(data_->test.data(), 2);
+  const float p0 = magellan_->PredictProbability(data_->test[0]);
+  const float p1 = magellan_->PredictProbability(data_->test[1]);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::vector<float> batched = engine.Score(*magellan_, two);
+    ASSERT_EQ(batched.size(), 2u);
+    EXPECT_EQ(batched[0], p0);
+    EXPECT_EQ(batched[1], p1);
+  }
 }
 
 TEST_F(EngineParityTest, PairwiseAsCollectiveRoutesThroughBatchPath) {
