@@ -1,11 +1,153 @@
 #include "bench_common.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <sstream>
 
 namespace hiergat {
 namespace bench {
+
+namespace {
+
+std::string JsonQuote(const std::string& raw) {
+  std::string out = "\"";
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::ostringstream out;
+  out.precision(12);
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+BenchResult::BenchResult(std::string benchmark)
+    : benchmark_(std::move(benchmark)) {}
+
+void BenchResult::AddParam(const std::string& key, const std::string& value) {
+  params_.emplace_back(key, JsonQuote(value));
+}
+
+void BenchResult::AddParam(const std::string& key, const char* value) {
+  AddParam(key, std::string(value));
+}
+
+void BenchResult::AddParam(const std::string& key, double value) {
+  params_.emplace_back(key, JsonNumber(value));
+}
+
+void BenchResult::AddParam(const std::string& key, int value) {
+  params_.emplace_back(key, std::to_string(value));
+}
+
+void BenchResult::AddMetric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+void BenchResult::SetLatencies(const std::vector<double>& seconds) {
+  if (seconds.empty()) return;
+  repetitions_ = static_cast<int>(seconds.size());
+  p50_latency_seconds_ = PercentileOf(seconds, 0.50);
+  p95_latency_seconds_ = PercentileOf(seconds, 0.95);
+}
+
+std::string BenchResult::ToJson() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"hiergat-bench-v1\",\n";
+  out << "  \"benchmark\": " << JsonQuote(benchmark_) << ",\n";
+  out << "  \"params\": {";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    out << (i ? ", " : "") << JsonQuote(params_[i].first) << ": "
+        << params_[i].second;
+  }
+  out << "},\n";
+  out << "  \"repetitions\": " << repetitions_ << ",\n";
+  out << "  \"latency_seconds\": {\"p50\": "
+      << JsonNumber(p50_latency_seconds_)
+      << ", \"p95\": " << JsonNumber(p95_latency_seconds_) << "},\n";
+  out << "  \"throughput_items_per_sec\": " << JsonNumber(throughput_)
+      << ",\n";
+  out << "  \"metrics\": {";
+  for (size_t i = 0; i < metrics_.size(); ++i) {
+    out << (i ? ", " : "") << JsonQuote(metrics_[i].first) << ": "
+        << JsonNumber(metrics_[i].second);
+  }
+  out << "}\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::string JsonOutPath(int argc, char** argv) {
+  static const char kFlag[] = "--json_out=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, sizeof(kFlag) - 1) == 0) {
+      return std::string(argv[i] + sizeof(kFlag) - 1);
+    }
+  }
+  return "";
+}
+
+bool WriteBenchJson(const std::string& path, const BenchResult& result) {
+  if (path.empty()) return true;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot open %s for bench JSON\n",
+                 path.c_str());
+    return false;
+  }
+  out << result.ToJson();
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+    return false;
+  }
+  std::printf("bench JSON written to %s\n", path.c_str());
+  return true;
+}
+
+double PercentileOf(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  p = std::min(1.0, std::max(0.0, p));
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
 
 double Scale() {
   const char* env = std::getenv("HIERGAT_BENCH_SCALE");

@@ -2,12 +2,68 @@
 #define HIERGAT_BENCH_BENCH_COMMON_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "er/model.h"
 
 namespace hiergat {
 namespace bench {
+
+/// Standardized machine-readable bench result. Every bench binary that
+/// accepts `--json_out=PATH` serializes one of these so result
+/// trajectories (BENCH_*.json) can be recorded and diffed; the schema
+/// ("hiergat-bench-v1", validated by tools/check_bench_json.py) is:
+///
+///   {
+///     "schema": "hiergat-bench-v1",
+///     "benchmark": "<name>",
+///     "params": { "<key>": <string|number>, ... },
+///     "repetitions": <int >= 1>,
+///     "latency_seconds": { "p50": <num>, "p95": <num> },
+///     "throughput_items_per_sec": <num>,
+///     "metrics": { "<key>": <num>, ... }
+///   }
+class BenchResult {
+ public:
+  explicit BenchResult(std::string benchmark);
+
+  void AddParam(const std::string& key, const std::string& value);
+  void AddParam(const std::string& key, const char* value);
+  void AddParam(const std::string& key, double value);
+  void AddParam(const std::string& key, int value);
+
+  /// Extra numeric results (F1 scores, cache hit rates, steal counts).
+  void AddMetric(const std::string& key, double value);
+
+  /// Per-repetition wall times of the measured section; sets
+  /// `repetitions` and the p50/p95 latency fields.
+  void SetLatencies(const std::vector<double>& seconds);
+
+  void set_throughput(double items_per_sec) { throughput_ = items_per_sec; }
+
+  std::string ToJson() const;
+
+ private:
+  std::string benchmark_;
+  /// Values pre-rendered as JSON (quoted strings or bare numbers).
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  int repetitions_ = 1;
+  double p50_latency_seconds_ = 0.0;
+  double p95_latency_seconds_ = 0.0;
+  double throughput_ = 0.0;
+};
+
+/// Extracts PATH from a `--json_out=PATH` argument ("" when absent).
+std::string JsonOutPath(int argc, char** argv);
+
+/// Writes `result` to `path` (no-op returning true for an empty path);
+/// prints a warning and returns false on I/O failure.
+bool WriteBenchJson(const std::string& path, const BenchResult& result);
+
+/// Nearest-rank-with-interpolation percentile of a sample; p in [0, 1].
+double PercentileOf(std::vector<double> values, double p);
 
 /// Global size multiplier for all experiment harnesses. Defaults to a
 /// single-core-friendly scale; set HIERGAT_BENCH_SCALE (e.g. 4.0) to run

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "er/er.h"
+#include "obs/metrics.h"
 
 using namespace hiergat;  // Example code; library code never does this.
 
@@ -57,5 +58,11 @@ int main() {
               pair.left.Serialize().c_str(), pair.right.Serialize().c_str());
   std::printf("P(match) = %.3f   (gold label: %d)\n", probabilities.front(),
               pair.label);
+
+  // 5. Observability: every stage above recorded metrics (cache hit
+  //    rate, per-worker steals, batch latency, training telemetry).
+  //    Export them Prometheus-style; see DESIGN.md §8.
+  std::printf("\n--- metrics (Prometheus exposition) ---\n%s",
+              obs::MetricsRegistry::Global().PrometheusText().c_str());
   return 0;
 }

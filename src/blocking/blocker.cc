@@ -7,13 +7,38 @@
 
 #include "core/logging.h"
 #include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 
 namespace hiergat {
 
+namespace {
+
+obs::Counter& CandidatesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.blocking.candidates");
+  return counter;
+}
+obs::Histogram& KeywordBlockSeconds() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hiergat.blocking.keyword_block_seconds");
+  return histogram;
+}
+obs::Counter& TopNQueriesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.blocking.topn_queries");
+  return counter;
+}
+
+}  // namespace
+
 std::vector<std::pair<int, int>> KeywordBlock(
     const std::vector<Entity>& table_a, const std::vector<Entity>& table_b,
     int min_overlap) {
+  HG_TRACE_SPAN("KeywordBlock");
+  obs::ScopedLatency latency(KeywordBlockSeconds());
   // Inverted index over table_b tokens.
   std::unordered_map<std::string, std::vector<int>> index;
   for (size_t j = 0; j < table_b.size(); ++j) {
@@ -41,6 +66,7 @@ std::vector<std::pair<int, int>> KeywordBlock(
     }
   }
   std::sort(candidates.begin(), candidates.end());
+  CandidatesCounter().Increment(static_cast<int64_t>(candidates.size()));
   return candidates;
 }
 
@@ -66,6 +92,8 @@ TfIdfBlocker::TfIdfBlocker(const std::vector<Entity>& corpus) {
 
 std::vector<int> TfIdfBlocker::TopN(const Entity& query, int n,
                                     int exclude) const {
+  HG_TRACE_SPAN("TfIdfBlocker::TopN");
+  TopNQueriesCounter().Increment();
   const SparseVector qv = vectorizer_.Transform(query.AllValueTokens());
   std::vector<std::pair<float, int>> scored;
   scored.reserve(vectors_.size());

@@ -31,11 +31,20 @@ class FatalMessage {
 }  // namespace hiergat
 
 /// Fatal invariant check; evaluates `cond` exactly once.
-#define HG_CHECK(cond)                                                 \
-  if (cond) {                                                          \
-  } else                                                               \
-    ::hiergat::internal_logging::FatalMessage(__FILE__, __LINE__, #cond) \
-        .stream()
+///
+/// The `switch (0) case 0: default:` wrapper makes the expansion a
+/// single switch statement, so the internal `else` can never capture an
+/// `else` at the use site and a missing semicolon after the macro is a
+/// compile error instead of a silent rebind —
+/// `if (x) HG_CHECK(y); else Fallback();` binds the else to `if (x)`.
+#define HG_CHECK(cond)                                                   \
+  switch (0)                                                             \
+  case 0:                                                                \
+  default:                                                               \
+    if (cond) {                                                          \
+    } else                                                               \
+      ::hiergat::internal_logging::FatalMessage(__FILE__, __LINE__, #cond) \
+          .stream()
 
 #define HG_CHECK_EQ(a, b) HG_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
 #define HG_CHECK_NE(a, b) HG_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -2,6 +2,8 @@
 
 #include "core/logging.h"
 #include "nn/introspection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -15,6 +17,10 @@ HierarchicalAggregator::HierarchicalAggregator(const MiniLm* lm,
 Tensor HierarchicalAggregator::SummarizeAttribute(
     const Tensor& wpc, const std::vector<int>& token_seq, bool training,
     Rng& rng) const {
+  HG_TRACE_SPAN("HierarchicalAggregator::SummarizeAttribute");
+  static obs::Counter& summaries = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.aggregation.attribute_summaries");
+  summaries.Increment();
   Tensor cls = lm_->Embed({Vocabulary::kCls});  // [1, F]
   Tensor seq = token_seq.empty()
                    ? cls

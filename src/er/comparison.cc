@@ -1,6 +1,8 @@
 #include "er/comparison.h"
 
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -34,6 +36,10 @@ Tensor HierarchicalComparator::CompareAttribute(const Tensor& left_attr,
                                                 const Tensor& right_attr,
                                                 bool training,
                                                 Rng& rng) const {
+  HG_TRACE_SPAN("HierarchicalComparator::CompareAttribute");
+  static obs::Counter& comparisons = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.comparison.attribute_comparisons");
+  comparisons.Increment();
   Tensor cls = lm_->Embed({Vocabulary::kCls});
   Tensor sep = lm_->Embed({Vocabulary::kSep});
   Tensor seq = ConcatRows({cls, left_attr, sep, right_attr, sep});
@@ -50,6 +56,7 @@ Tensor HierarchicalComparator::CompareAttribute(const Tensor& left_attr,
 Tensor HierarchicalComparator::CombineViews(
     const std::vector<Tensor>& attribute_similarities,
     const Tensor& left_entity, const Tensor& right_entity) const {
+  HG_TRACE_SPAN("HierarchicalComparator::CombineViews");
   HG_CHECK(!attribute_similarities.empty());
   Tensor views = ConcatRows(attribute_similarities);  // [K, F]
   switch (combination_) {

@@ -3,11 +3,21 @@
 #include <unordered_set>
 
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
 
 namespace {
+
+/// Actual LM encodes of attribute sequences (cache misses compute,
+/// cache hits skip — compare with hiergat.cache.hits).
+obs::Counter& LmEncodesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.contextual.lm_encodes");
+  return counter;
+}
 
 // Cache key for a token-id list: the token *strings* (ids are local to
 // one HHG), '\x1f'-joined under a site prefix so the encode and pool
@@ -40,6 +50,7 @@ Tensor ContextualEmbedder::TokenLevelContext(const Hhg& hhg,
                                              const Tensor& base,
                                              bool training, Rng& rng,
                                              SummaryCache* cache) const {
+  HG_TRACE_SPAN("ContextualEmbedder::TokenLevelContext");
   const int num_tokens = hhg.num_tokens();
   const int f = lm_->dim();
   // Encode every attribute sequence, then average each token's
@@ -53,6 +64,7 @@ Tensor ContextualEmbedder::TokenLevelContext(const Hhg& hhg,
     // The encode reads only this attribute's own rows of `base` (the
     // static per-token-string embeddings), so it is cacheable by value.
     auto encode = [&]() {
+      LmEncodesCounter().Increment();
       Tensor seq = GatherRows(base, attr.token_seq);
       return lm_->EncodeEmbedded(seq, training, rng);
     };
@@ -81,6 +93,7 @@ Tensor ContextualEmbedder::TokenLevelContext(const Hhg& hhg,
 
 Tensor ContextualEmbedder::Compute(const Hhg& hhg, bool training, Rng& rng,
                                    SummaryCache* cache) const {
+  HG_TRACE_SPAN("ContextualEmbedder::Compute");
   if (training) cache = nullptr;  // Cached tensors are detached.
   const int num_tokens = hhg.num_tokens();
   const int f = lm_->dim();

@@ -1,12 +1,45 @@
 #include "er/engine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "nn/introspection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace hiergat {
 
 namespace {
+
+// Engine metrics (DESIGN.md §8). Resolved once; hot paths touch only
+// the metric atomics.
+obs::Counter& JobsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.engine.jobs");
+  return counter;
+}
+obs::Counter& ItemsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.engine.items");
+  return counter;
+}
+obs::Counter& StealsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.engine.steals");
+  return counter;
+}
+obs::Histogram& BatchSecondsHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hiergat.engine.batch_seconds");
+  return histogram;
+}
+obs::Histogram& QueueWaitSecondsHistogram() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hiergat.engine.queue_wait_seconds");
+  return histogram;
+}
 
 constexpr uint64_t Pack(int begin, int end) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(begin)) << 32) |
@@ -80,11 +113,24 @@ InferenceEngine::~InferenceEngine() {
   for (std::thread& t : threads_) t.join();
 }
 
+std::vector<EngineWorkerStats> InferenceEngine::worker_stats() const {
+  std::vector<EngineWorkerStats> stats(static_cast<size_t>(num_threads_));
+  for (int w = 0; w < num_threads_; ++w) {
+    const Slot& slot = slots_[static_cast<size_t>(w)];
+    auto& out = stats[static_cast<size_t>(w)];
+    out.items = slot.items.load(std::memory_order_relaxed);
+    out.ranges = slot.ranges.load(std::memory_order_relaxed);
+    out.steals = slot.steals.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
 void InferenceEngine::WorkerLoop(int worker_id) {
   // Introspection caches (last_attention() and friends) are mutable
   // per-module state; recording from concurrent workers would race, and
   // batch scoring has no use for the values.
   SetAttentionRecording(false);
+  obs::SetTraceThreadName("engine-worker-" + std::to_string(worker_id));
   uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -115,12 +161,18 @@ void InferenceEngine::WorkerLoop(int worker_id) {
 int InferenceEngine::ProcessRanges(int worker_id,
                                    const std::function<void(int, int)>& fn) {
   int processed = 0;
-  std::atomic<uint64_t>& own = slots_[static_cast<size_t>(worker_id)].range;
+  Slot& self = slots_[static_cast<size_t>(worker_id)];
+  std::atomic<uint64_t>& own = self.range;
   for (;;) {
     int begin, end;
     if (PopFront(own, grain_, &begin, &end)) {
-      fn(begin, end);
+      {
+        HG_TRACE_SPAN("engine.ScoreRange");
+        fn(begin, end);
+      }
       processed += end - begin;
+      self.items.fetch_add(end - begin, std::memory_order_relaxed);
+      self.ranges.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     bool stole = false;
@@ -132,6 +184,8 @@ int InferenceEngine::ProcessRanges(int worker_id,
         // split it further; an empty slot is never CAS-matched, so the
         // plain store cannot clobber a concurrent steal.
         own.store(Pack(begin, end), std::memory_order_release);
+        self.steals.fetch_add(1, std::memory_order_relaxed);
+        StealsCounter().Increment();
         stole = true;
       }
     }
@@ -142,10 +196,18 @@ int InferenceEngine::ProcessRanges(int worker_id,
 void InferenceEngine::RunJob(int total,
                              const std::function<void(int, int)>& process) {
   if (total <= 0) return;
+  HG_TRACE_SPAN("InferenceEngine::RunJob");
   // One job at a time: Score/Evaluate may be called from multiple
   // caller threads, but slots_/job_fn_/done_items_ describe a single
-  // in-flight job, so callers queue here for the pool.
+  // in-flight job, so callers queue here for the pool. queue_wait is
+  // the time a caller spends behind other callers' jobs.
+  const uint64_t enqueue_ns = obs::MonotonicNowNs();
   std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
+  const uint64_t start_ns = obs::MonotonicNowNs();
+  QueueWaitSecondsHistogram().Observe(
+      static_cast<double>(start_ns - enqueue_ns) * 1e-9);
+  JobsCounter().Increment();
+  ItemsCounter().Increment(total);
   std::unique_lock<std::mutex> lock(mutex_);
   // Even contiguous partition of [0, total); trailing workers may get
   // an empty slot when there are fewer items than threads.
@@ -168,6 +230,8 @@ void InferenceEngine::RunJob(int total,
   done_cv_.wait(lock,
                 [&] { return done_items_ == job_total_ && active_workers_ == 0; });
   job_fn_ = nullptr;
+  BatchSecondsHistogram().Observe(
+      static_cast<double>(obs::MonotonicNowNs() - start_ns) * 1e-9);
 }
 
 std::vector<float> InferenceEngine::Score(const PairwiseModel& model,

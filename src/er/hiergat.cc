@@ -4,6 +4,8 @@
 
 #include "core/logging.h"
 #include "graph/hhg.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -43,6 +45,7 @@ void HierGatModel::Train(const PairDataset& data,
 
 Tensor HierGatModel::ForwardSimilarity(const EntityPair& pair, bool training,
                                        Rng& rng) const {
+  HG_TRACE_SPAN("HierGatModel::ForwardSimilarity");
   const Hhg hhg = Hhg::Build({pair.left, pair.right});
   SummaryCache* cache =
       (!training && cache_enabled_) ? &summary_cache_ : nullptr;
@@ -88,6 +91,7 @@ Tensor HierGatModel::ForwardLogits(const EntityPair& pair, bool training,
 
 std::vector<float> HierGatModel::ScoreBatch(
     std::span<const EntityPair> pairs) const {
+  HG_TRACE_SPAN("HierGatModel::ScoreBatch");
   NoGradGuard no_grad;
   Rng unused(0);
   std::vector<float> probabilities;
@@ -97,6 +101,14 @@ std::vector<float> HierGatModel::ScoreBatch(
     // attribute values hit the memo from the second occurrence on.
     Tensor probs = Softmax(ForwardLogits(pair, /*training=*/false, unused));
     probabilities.push_back(probs.at(0, 1));
+  }
+  if (cache_enabled_) {
+    const SummaryCache::Stats stats = summary_cache_.stats();
+    HG_LOG(INFO) << "summary cache after ScoreBatch(" << pairs.size()
+                 << "): hits=" << stats.hits << " misses=" << stats.misses
+                 << " evictions=" << stats.evictions
+                 << " size=" << summary_cache_.size() << " hit_rate="
+                 << stats.HitRate();
   }
   return probabilities;
 }

@@ -52,6 +52,10 @@ class HierGatPlusModel : public NeuralCollectiveModel {
   /// See HierGatModel::InvalidateInferenceCache.
   void InvalidateInferenceCache() const override;
 
+  /// Inference-time entity-summary cache (hit/miss/eviction stats; also
+  /// aggregated into the `hiergat.cache.*` metrics).
+  const SummaryCache& summary_cache() const { return summary_cache_; }
+
  protected:
   Tensor ForwardQueryLogits(const CollectiveQuery& query, bool training,
                             Rng& rng) const override;

@@ -1,6 +1,35 @@
 #include "er/summary_cache.h"
 
+#include "obs/metrics.h"
+
 namespace hiergat {
+
+namespace {
+
+// Aggregated across every SummaryCache instance in the process; the
+// per-instance split stays available via SummaryCache::stats().
+obs::Counter& HitsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.cache.hits");
+  return counter;
+}
+obs::Counter& MissesCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.cache.misses");
+  return counter;
+}
+obs::Counter& EvictionsCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.cache.evictions");
+  return counter;
+}
+obs::Gauge& SizeGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("hiergat.cache.size");
+  return gauge;
+}
+
+}  // namespace
 
 Tensor SummaryCache::GetOrCompute(const std::string& key,
                                   const std::function<Tensor()>& compute) {
@@ -9,6 +38,7 @@ Tensor SummaryCache::GetOrCompute(const std::string& key,
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      HitsCounter().Increment();
       return it->second;
     }
   }
@@ -16,17 +46,21 @@ Tensor SummaryCache::GetOrCompute(const std::string& key,
   Tensor value = compute().Detach();
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.misses;
+  MissesCounter().Increment();
   if (entries_.size() >= max_entries_ && entries_.count(key) == 0) {
     stats_.evictions += static_cast<int64_t>(entries_.size());
+    EvictionsCounter().Increment(static_cast<int64_t>(entries_.size()));
     entries_.clear();
   }
   auto [it, inserted] = entries_.emplace(key, std::move(value));
+  SizeGauge().Set(static_cast<double>(entries_.size()));
   return it->second;
 }
 
 void SummaryCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  SizeGauge().Set(0.0);
 }
 
 size_t SummaryCache::size() const {

@@ -46,6 +46,14 @@ class SummaryCache {
     int64_t misses = 0;
     /// Entries dropped by capacity flushes (not Clear()).
     int64_t evictions = 0;
+
+    /// hits / (hits + misses); 0 when nothing was looked up.
+    double HitRate() const {
+      const int64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) /
+                             static_cast<double>(total)
+                       : 0.0;
+    }
   };
 
   explicit SummaryCache(size_t max_entries = kDefaultMaxEntries)

@@ -5,6 +5,9 @@
 #include <cstdio>
 
 #include "nn/optimizer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -49,7 +52,22 @@ double RunTrainingLoop(const std::vector<Item>& train_items,
   float best_f1 = -1.0f;
   std::vector<std::vector<float>> best_snapshot;
 
+  // Per-epoch observability (DESIGN.md §8): gauges carry the latest
+  // epoch's loss/F1, the histogram the wall-time distribution.
+  static obs::Counter& epochs_counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.train.epochs");
+  static obs::Gauge& loss_gauge =
+      obs::MetricsRegistry::Global().GetGauge("hiergat.train.epoch_loss");
+  static obs::Gauge& valid_f1_gauge =
+      obs::MetricsRegistry::Global().GetGauge("hiergat.train.valid_f1");
+  static obs::Histogram& epoch_seconds =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hiergat.train.epoch_seconds");
+
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    HG_TRACE_SPAN("TrainEpoch");
+    obs::ScopedLatency epoch_latency(epoch_seconds);
+    const auto epoch_start = std::chrono::steady_clock::now();
     for (size_t i = order.size(); i > 1; --i) {
       std::swap(order[i - 1], order[rng.NextUint64(i)]);
     }
@@ -79,10 +97,21 @@ double RunTrainingLoop(const std::vector<Item>& train_items,
         best_snapshot = SnapshotParameters(params);
       }
     }
+    const float mean_loss =
+        steps > 0 ? epoch_loss / static_cast<float>(steps) : 0.0f;
+    const double epoch_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      epoch_start)
+            .count();
+    epochs_counter.Increment();
+    loss_gauge.Set(mean_loss);
+    valid_f1_gauge.Set(valid_f1);
+    HG_LOG(INFO) << "[" << model_name << "] epoch " << epoch + 1 << "/"
+                 << options.epochs << " loss=" << mean_loss
+                 << " valid_f1=" << valid_f1 << " wall_s=" << epoch_wall;
     if (options.verbose) {
       std::printf("[%s] epoch %d/%d loss=%.4f valid_f1=%.3f\n",
-                  model_name.c_str(), epoch + 1, options.epochs,
-                  steps > 0 ? epoch_loss / static_cast<float>(steps) : 0.0f,
+                  model_name.c_str(), epoch + 1, options.epochs, mean_loss,
                   valid_f1);
     }
   }

@@ -4,11 +4,18 @@
 #include <unordered_set>
 
 #include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/tokenizer.h"
 
 namespace hiergat {
 
 Hhg Hhg::Build(const std::vector<Entity>& entities) {
+  HG_TRACE_SPAN("Hhg::Build");
+  static obs::Counter& builds =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.graph.builds");
+  static obs::Counter& token_nodes =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.graph.token_nodes");
   HG_CHECK_GE(entities.size(), 1u);
   Hhg graph;
   std::unordered_map<std::string, std::vector<int>> groups_by_key;
@@ -58,6 +65,8 @@ Hhg Hhg::Build(const std::vector<Entity>& entities) {
       graph.common_tokens_.push_back(t);
     }
   }
+  builds.Increment();
+  token_nodes.Increment(graph.num_tokens());
   return graph;
 }
 

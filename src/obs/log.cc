@@ -1,0 +1,145 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace hiergat {
+namespace obs {
+
+namespace {
+
+LogLevel LevelFromEnv() {
+  const char* env = std::getenv("HIERGAT_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "INFO") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "WARN") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "ERROR") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "OFF") == 0) return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& ThresholdStorage() {
+  static std::atomic<int>* threshold =
+      new std::atomic<int>(static_cast<int>(LevelFromEnv()));
+  return *threshold;
+}
+
+/// Serializes emission (stderr + sinks); never held on the skip path.
+std::mutex& EmitMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+std::FILE*& JsonSinkStorage() {
+  static std::FILE* sink = nullptr;
+  return sink;
+}
+
+LogSink& SinkStorage() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+std::string JsonEscapeMessage(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "UNKNOWN";
+}
+
+void SetLogLevel(LogLevel level) {
+  ThresholdStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      ThresholdStorage().load(std::memory_order_relaxed));
+}
+
+bool LogLevelEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         ThresholdStorage().load(std::memory_order_relaxed);
+}
+
+bool SetLogJsonPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::FILE*& sink = JsonSinkStorage();
+  if (sink != nullptr) {
+    std::fclose(sink);
+    sink = nullptr;
+  }
+  if (path.empty()) return true;
+  sink = std::fopen(path.c_str(), "a");
+  return sink != nullptr;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  SinkStorage() = std::move(sink);
+}
+
+namespace internal_log {
+
+LogMessage::LogMessage(const char* file, int line, LogLevel level)
+    : file_(file), line_(line), level_(level) {}
+
+LogMessage::~LogMessage() {
+  const std::string message = stream_.str();
+  const int64_t ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  // Basename keeps lines short; __FILE__ may carry the full build path.
+  const char* base = std::strrchr(file_, '/');
+  base = base != nullptr ? base + 1 : file_;
+
+  std::lock_guard<std::mutex> lock(EmitMutex());
+  std::fprintf(stderr, "[%c %lld %s:%d] %s\n", LogLevelName(level_)[0],
+               static_cast<long long>(ts_ms), base, line_, message.c_str());
+  std::FILE* json = JsonSinkStorage();
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\"ts_ms\":%lld,\"level\":\"%s\",\"file\":\"%s\","
+                 "\"line\":%d,\"msg\":\"%s\"}\n",
+                 static_cast<long long>(ts_ms), LogLevelName(level_), base,
+                 line_, JsonEscapeMessage(message).c_str());
+    std::fflush(json);
+  }
+  const LogSink& sink = SinkStorage();
+  if (sink) sink(level_, file_, line_, message);
+}
+
+}  // namespace internal_log
+}  // namespace obs
+}  // namespace hiergat

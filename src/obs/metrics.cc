@@ -1,0 +1,239 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "core/logging.h"
+
+namespace hiergat {
+namespace obs {
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  HG_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must ascend";
+}
+
+std::vector<double> Histogram::DefaultLatencyBounds() {
+  // 1-2-5 ladder over 1us .. 10s, in seconds.
+  std::vector<double> bounds;
+  for (double decade = 1e-6; decade < 10.0; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(2.0 * decade);
+    bounds.push_back(5.0 * decade);
+  }
+  bounds.push_back(10.0);
+  return bounds;
+}
+
+void Histogram::Observe(double value) {
+  const size_t bucket = static_cast<size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snapshot;
+  snapshot.bounds = bounds_;
+  snapshot.counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_) {
+    snapshot.counts.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  // Derive the total from the bucket snapshot (not count_) so the
+  // snapshot is self-consistent even while writers race.
+  snapshot.count = 0;
+  for (int64_t c : snapshot.counts) snapshot.count += c;
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+double Histogram::Snapshot::Percentile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i >= bounds.size()) return bounds.empty() ? 0.0 : bounds.back();
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double upper = bounds[i];
+    if (counts[i] == 0) return upper;
+    const double into =
+        (target - static_cast<double>(cumulative - counts[i])) /
+        static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, into));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HG_CHECK(gauges_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HG_CHECK(counters_.count(name) == 0 && histograms_.count(name) == 0)
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HG_CHECK(counters_.count(name) == 0 && gauges_.count(name) == 0)
+      << "metric '" << name << "' already registered as another kind";
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+/// names map onto that by replacing every other byte with '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 2);
+  for (char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << gauge->Value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string prom = PrometheusName(name);
+    const Histogram::Snapshot snapshot = histogram->TakeSnapshot();
+    out << "# TYPE " << prom << " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < snapshot.bounds.size(); ++i) {
+      cumulative += snapshot.counts[i];
+      out << prom << "_bucket{le=\"" << snapshot.bounds[i] << "\"} "
+          << cumulative << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << snapshot.count << "\n";
+    out << prom << "_sum " << snapshot.sum << "\n";
+    out << prom << "_count " << snapshot.count << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::JsonDump() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << counter->Value();
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << gauge->Value();
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    const Histogram::Snapshot snapshot = histogram->TakeSnapshot();
+    out << "\"" << JsonEscape(name) << "\":{\"count\":" << snapshot.count
+        << ",\"sum\":" << snapshot.sum
+        << ",\"p50\":" << snapshot.Percentile(0.5)
+        << ",\"p95\":" << snapshot.Percentile(0.95) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+ScopedLatency::ScopedLatency(Histogram& histogram)
+    : histogram_(histogram), start_ns_(MonotonicNowNs()) {}
+
+ScopedLatency::~ScopedLatency() {
+  histogram_.Observe(static_cast<double>(MonotonicNowNs() - start_ns_) * 1e-9);
+}
+
+}  // namespace obs
+}  // namespace hiergat

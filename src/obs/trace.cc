@@ -1,0 +1,109 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hiergat {
+namespace obs {
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+TraceRecorder::ThreadRing& TraceRecorder::RingForThisThread() {
+  // The shared_ptr keeps the ring alive in the registry even after the
+  // thread exits, so short-lived worker threads still appear in the
+  // exported trace.
+  thread_local std::shared_ptr<ThreadRing> ring = [this] {
+    auto fresh = std::make_shared<ThreadRing>();
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    fresh->tid = next_tid_++;
+    rings_.push_back(fresh);
+    return fresh;
+  }();
+  return *ring;
+}
+
+void TraceRecorder::Record(const char* name, uint64_t start_ns,
+                           uint64_t dur_ns) {
+  ThreadRing& ring = RingForThisThread();
+  // The ring's mutex is only ever contended by a snapshot/Clear; for the
+  // owning thread this is an uncontended lock (a couple of atomics).
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  if (ring.events.size() < kEventsPerThread) {
+    ring.events.push_back({name, start_ns, dur_ns});
+    ring.next = ring.events.size() % kEventsPerThread;
+    return;
+  }
+  ring.events[ring.next] = {name, start_ns, dur_ns};
+  ring.next = (ring.next + 1) % kEventsPerThread;
+  ring.wrapped = true;
+}
+
+void TraceRecorder::SetCurrentThreadName(const std::string& name) {
+  ThreadRing& ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.name = name;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+  }
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  size_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    total += ring->events.size();
+  }
+  return total;
+}
+
+std::string TraceRecorder::ChromeTraceJson() const {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(3);
+  out << "{\"traceEvents\":[";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"hiergat\"}}";
+  std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    if (!ring->name.empty()) {
+      out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
+          << ring->tid << ",\"args\":{\"name\":\"" << ring->name << "\"}}";
+    }
+    for (const TraceEvent& event : ring->events) {
+      out << ",{\"name\":\"" << event.name << "\",\"ph\":\"X\",\"pid\":0"
+          << ",\"tid\":" << ring->tid
+          << ",\"ts\":" << static_cast<double>(event.start_ns) * 1e-3
+          << ",\"dur\":" << static_cast<double>(event.dur_ns) * 1e-3 << "}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = ChromeTraceJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == json.size();
+  return ok;
+}
+
+void SetTraceThreadName(const std::string& name) {
+  TraceRecorder::Global().SetCurrentThreadName(name);
+}
+
+}  // namespace obs
+}  // namespace hiergat

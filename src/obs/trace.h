@@ -1,0 +1,140 @@
+#ifndef HIERGAT_OBS_TRACE_H_
+#define HIERGAT_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hiergat {
+namespace obs {
+
+/// One completed span: a Chrome trace_event "X" (complete) event.
+struct TraceEvent {
+  const char* name = nullptr;  ///< Must be a string with static lifetime.
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// Process-wide trace collector. Each thread writes completed spans into
+/// its own fixed-capacity ring buffer (oldest events overwritten), so
+/// recording never allocates on the hot path and threads never contend
+/// with each other — only a snapshot briefly locks each ring.
+///
+/// Tracing is off by default: a disabled HG_TRACE_SPAN costs one relaxed
+/// atomic load. Compiling with -DHIERGAT_NO_TRACING removes spans
+/// entirely (the macro expands to nothing).
+///
+/// Usage:
+///   obs::TraceRecorder::Global().Start();
+///   ... run the workload (spans record automatically) ...
+///   obs::TraceRecorder::Global().Stop();
+///   obs::TraceRecorder::Global().WriteChromeTrace("trace.json");
+/// Open the file in chrome://tracing or https://ui.perfetto.dev — one
+/// track per thread, named via SetTraceThreadName.
+class TraceRecorder {
+ public:
+  /// Ring capacity per thread, in events.
+  static constexpr size_t kEventsPerThread = 1 << 14;
+
+  static TraceRecorder& Global();
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  void Start() { enabled_.store(true, std::memory_order_relaxed); }
+  void Stop() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed span to the calling thread's ring.
+  void Record(const char* name, uint64_t start_ns, uint64_t dur_ns);
+
+  /// Names the calling thread's track in the exported trace (emitted as
+  /// a thread_name metadata event). Safe to call with tracing disabled.
+  void SetCurrentThreadName(const std::string& name);
+
+  /// Drops all recorded events (thread rings stay registered).
+  void Clear();
+
+  /// Total events currently buffered across all threads.
+  size_t event_count() const;
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}; ts/dur in
+  /// microseconds, one tid per recording thread).
+  std::string ChromeTraceJson() const;
+
+  /// Writes ChromeTraceJson() to `path`; returns false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadRing {
+    std::mutex mutex;
+    uint64_t tid = 0;
+    std::string name;
+    std::vector<TraceEvent> events;  ///< Ring storage.
+    size_t next = 0;
+    bool wrapped = false;
+  };
+
+  ThreadRing& RingForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex rings_mutex_;
+  std::vector<std::shared_ptr<ThreadRing>> rings_;
+  uint64_t next_tid_ = 1;
+};
+
+/// Convenience wrapper for TraceRecorder::SetCurrentThreadName.
+void SetTraceThreadName(const std::string& name);
+
+/// RAII span. Construction samples the clock only when tracing is
+/// enabled; destruction records the completed event. Use through
+/// HG_TRACE_SPAN so spans compile away under HIERGAT_NO_TRACING.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceRecorder::Global().enabled()) {
+      name_ = name;
+      start_ns_ = MonotonicNowNs();
+    }
+  }
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRecorder::Global().Record(name_, start_ns_,
+                                     MonotonicNowNs() - start_ns_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  ///< Null when tracing was off at entry.
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace hiergat
+
+#define HG_TRACE_CONCAT_INNER(a, b) a##b
+#define HG_TRACE_CONCAT(a, b) HG_TRACE_CONCAT_INNER(a, b)
+
+#if defined(HIERGAT_NO_TRACING)
+/// Tracing compiled out: spans are no-ops with zero code size/overhead.
+#define HG_TRACE_SPAN(name) \
+  do {                      \
+  } while (false)
+#else
+/// Scoped trace span; `name` must be a string literal (or other
+/// static-lifetime string). The span covers the rest of the enclosing
+/// block.
+#define HG_TRACE_SPAN(name) \
+  ::hiergat::obs::TraceSpan HG_TRACE_CONCAT(hg_trace_span_, __LINE__)(name)
+#endif
+
+#endif  // HIERGAT_OBS_TRACE_H_

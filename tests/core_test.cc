@@ -61,6 +61,33 @@ TEST(CheckMacroTest, ConditionEvaluatedExactlyOnce) {
   HG_CHECK_GE(a, 3);
 }
 
+TEST(CheckMacroTest, ElseBindsToEnclosingIfNotTheMacro) {
+  // With an unguarded `if (cond) {} else abort` expansion, the `else`
+  // below could bind to HG_CHECK's internal if — silently turning the
+  // fallback branch into the check's failure branch. The switch-wrapped
+  // macro forces it to bind to the enclosing `if`.
+  bool else_taken = false;
+  if (false)
+    HG_CHECK(false) << "never evaluated: the branch is dead";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+
+  else_taken = false;
+  if (true)
+    HG_CHECK(true);
+  else
+    else_taken = true;
+  EXPECT_FALSE(else_taken);
+}
+
+TEST(CheckMacroDeathTest, FailureAbortsWithDiagnostic) {
+  EXPECT_DEATH(HG_CHECK(1 == 2) << "broken invariant",
+               "check failed: 1 == 2.*broken invariant");
+  int x = 7;
+  EXPECT_DEATH(HG_CHECK_EQ(x, 8), "7 vs 8");
+}
+
 TEST(RngTest, DeterministicPerSeed) {
   Rng a(123), b(123), c(124);
   for (int i = 0; i < 100; ++i) {

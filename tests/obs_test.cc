@@ -1,0 +1,263 @@
+// Tests for the observability layer (src/obs): metrics correctness
+// under contention, trace span capture and Chrome JSON shape, and
+// log-level filtering. Runs under the TSan preset (ctest -L obs).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hiergat {
+namespace obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 5000;
+
+TEST(CounterTest, ConcurrentIncrementsAllLand) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter]() {
+      for (int i = 0; i < kOpsPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kOpsPerThread);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(GaugeTest, ConcurrentAddsAllLand) {
+  Gauge gauge;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&gauge]() {
+      for (int i = 0; i < kOpsPerThread; ++i) gauge.Add(1.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(gauge.Value(), double{kThreads} * kOpsPerThread);
+  gauge.Set(-2.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -2.5);
+}
+
+TEST(HistogramTest, ConcurrentObservesStayConsistent) {
+  Histogram histogram({1.0, 2.0, 5.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t]() {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        histogram.Observe(0.5 + t);  // Spread across buckets.
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  EXPECT_EQ(snap.count, int64_t{kThreads} * kOpsPerThread);
+  ASSERT_EQ(snap.counts.size(), snap.bounds.size() + 1);
+  int64_t bucket_total = 0;
+  for (int64_t c : snap.counts) bucket_total += c;
+  // Snapshot invariant: the reported count is derived from the buckets.
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucket) {
+  Histogram histogram({1.0, 2.0, 5.0, 10.0});
+  for (int i = 0; i < 100; ++i) histogram.Observe(1.5);  // (1, 2] bucket.
+  const Histogram::Snapshot snap = histogram.TakeSnapshot();
+  const double p50 = snap.Percentile(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+  EXPECT_EQ(Histogram().TakeSnapshot().Percentile(0.5), 0.0);
+}
+
+TEST(MetricsRegistryTest, NamesResolveToStableObjects) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& a = registry.GetCounter("hiergat.test.stable");
+  Counter& b = registry.GetCounter("hiergat.test.stable");
+  EXPECT_EQ(&a, &b);
+  a.Increment(7);
+  registry.ResetAll();
+  // ResetAll zeroes data but keeps the object (hot-path references
+  // cached in static locals must survive).
+  EXPECT_EQ(&registry.GetCounter("hiergat.test.stable"), &a);
+  EXPECT_EQ(a.Value(), 0);
+}
+
+TEST(MetricsRegistryTest, SnapshotExportsStayWellFormedUnderWrites) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("hiergat.test.export_counter");
+  Gauge& gauge = registry.GetGauge("hiergat.test.export_gauge");
+  Histogram& histogram =
+      registry.GetHistogram("hiergat.test.export_histogram");
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&]() {
+      // At least one write even if `stop` lands before this thread is
+      // ever scheduled (single-core hosts).
+      do {
+        counter.Increment();
+        gauge.Add(0.25);
+        histogram.Observe(0.001);
+      } while (!stop.load(std::memory_order_relaxed));
+    });
+  }
+  for (int i = 0; i < 20; ++i) {
+    const std::string prom = registry.PrometheusText();
+    EXPECT_NE(prom.find("hiergat_test_export_counter"), std::string::npos);
+    EXPECT_NE(prom.find("hiergat_test_export_histogram_bucket"),
+              std::string::npos);
+    const std::string json = registry.JsonDump();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"hiergat.test.export_gauge\""), std::string::npos);
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GT(counter.Value(), 0);
+}
+
+#if !defined(HIERGAT_NO_TRACING)
+
+TEST(TraceTest, NestedSpansRecordWithContainment) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Start();
+  {
+    HG_TRACE_SPAN("outer");
+    {
+      HG_TRACE_SPAN("inner");
+    }
+  }
+  recorder.Stop();
+  EXPECT_EQ(recorder.event_count(), 2u);
+
+  const std::string json = recorder.ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // Inner closes before outer, so it serializes first; both carry the
+  // same tid (this thread's track).
+  EXPECT_LT(json.find("\"inner\""), json.find("\"outer\""));
+  recorder.Clear();
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(TraceTest, MultiThreadSpansGetDistinctTracks) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  recorder.Start();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t]() {
+      SetTraceThreadName("obs-test-worker-" + std::to_string(t));
+      for (int i = 0; i < 10; ++i) {
+        HG_TRACE_SPAN("work");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  recorder.Stop();
+  EXPECT_GE(recorder.event_count(), 40u);
+  const std::string json = recorder.ChromeTraceJson();
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_NE(json.find("obs-test-worker-" + std::to_string(t)),
+              std::string::npos);
+  }
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  recorder.Clear();
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  TraceRecorder& recorder = TraceRecorder::Global();
+  recorder.Clear();
+  ASSERT_FALSE(recorder.enabled());
+  {
+    HG_TRACE_SPAN("ignored");
+  }
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+#endif  // !HIERGAT_NO_TRACING
+
+TEST(TraceMacroTest, CompilesInUnbracedIf) {
+  // HG_TRACE_SPAN must be usable as a statement everywhere, including
+  // the no-op HIERGAT_NO_TRACING expansion.
+  if (true) HG_TRACE_SPAN("branch");
+  SUCCEED();
+}
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_level_ = GetLogLevel();
+    records_.clear();
+    SetLogSink([this](LogLevel level, const char* file, int line,
+                      const std::string& message) {
+      (void)file;
+      (void)line;
+      records_.emplace_back(level, message);
+    });
+  }
+  void TearDown() override {
+    SetLogSink(nullptr);
+    SetLogLevel(previous_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> records_;
+  LogLevel previous_level_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, ThresholdFiltersBySeverity) {
+  SetLogLevel(LogLevel::kWarn);
+  HG_LOG(INFO) << "dropped";
+  HG_LOG(WARN) << "kept-warn";
+  HG_LOG(ERROR) << "kept-error";
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_EQ(records_[0].first, LogLevel::kWarn);
+  EXPECT_EQ(records_[0].second, "kept-warn");
+  EXPECT_EQ(records_[1].first, LogLevel::kError);
+  EXPECT_EQ(records_[1].second, "kept-error");
+
+  SetLogLevel(LogLevel::kOff);
+  HG_LOG(ERROR) << "silenced";
+  EXPECT_EQ(records_.size(), 2u);
+}
+
+TEST_F(LogTest, FilteredOperandsAreNotEvaluated) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&evaluations]() {
+    ++evaluations;
+    return "payload";
+  };
+  HG_LOG(INFO) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  HG_LOG(ERROR) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, MacroNestsInUnbracedIfElse) {
+  SetLogLevel(LogLevel::kInfo);
+  bool else_taken = false;
+  // The else must bind to the outer if, not anything inside HG_LOG.
+  if (false)
+    HG_LOG(INFO) << "unreached";
+  else
+    else_taken = true;
+  EXPECT_TRUE(else_taken);
+  EXPECT_TRUE(records_.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace hiergat

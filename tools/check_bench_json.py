@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Validates hiergat bench JSON files against the hiergat-bench-v1 schema.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Exits non-zero with a per-file message on the first violation found in
+each file. The schema is documented in bench/bench_common.h and
+DESIGN.md §8; this validator is stdlib-only on purpose.
+"""
+
+import json
+import math
+import sys
+
+SCHEMA = "hiergat-bench-v1"
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def is_finite_number(value):
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return fail(path, f"unreadable or invalid JSON: {exc}")
+
+    if not isinstance(doc, dict):
+        return fail(path, "top level must be a JSON object")
+    if doc.get("schema") != SCHEMA:
+        return fail(path, f'"schema" must be "{SCHEMA}", got {doc.get("schema")!r}')
+
+    required = [
+        "benchmark",
+        "params",
+        "repetitions",
+        "latency_seconds",
+        "throughput_items_per_sec",
+        "metrics",
+    ]
+    for key in required:
+        if key not in doc:
+            return fail(path, f'missing required key "{key}"')
+
+    if not isinstance(doc["benchmark"], str) or not doc["benchmark"]:
+        return fail(path, '"benchmark" must be a non-empty string')
+
+    if not isinstance(doc["params"], dict):
+        return fail(path, '"params" must be an object')
+    for key, value in doc["params"].items():
+        if not isinstance(value, str) and not is_finite_number(value):
+            return fail(path, f'param "{key}" must be a string or finite number')
+
+    reps = doc["repetitions"]
+    if not isinstance(reps, int) or isinstance(reps, bool) or reps < 1:
+        return fail(path, '"repetitions" must be an integer >= 1')
+
+    lat = doc["latency_seconds"]
+    if not isinstance(lat, dict):
+        return fail(path, '"latency_seconds" must be an object')
+    for q in ("p50", "p95"):
+        if not is_finite_number(lat.get(q)) or lat[q] < 0:
+            return fail(path, f'"latency_seconds.{q}" must be a finite number >= 0')
+    if lat["p95"] < lat["p50"]:
+        return fail(path, '"latency_seconds": p95 must be >= p50')
+
+    tput = doc["throughput_items_per_sec"]
+    if not is_finite_number(tput) or tput < 0:
+        return fail(path, '"throughput_items_per_sec" must be a finite number >= 0')
+
+    if not isinstance(doc["metrics"], dict):
+        return fail(path, '"metrics" must be an object')
+    for key, value in doc["metrics"].items():
+        if not is_finite_number(value):
+            return fail(path, f'metric "{key}" must be a finite number')
+
+    print(f"{path}: OK ({doc['benchmark']}, {reps} reps)")
+    return True
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    ok = all([check_file(path) for path in argv[1:]])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
