@@ -1,0 +1,214 @@
+// Tensor-core micro-bench: throughput of the kernelized ops (GEMM,
+// fused Linear, row-softmax, row-layernorm) at HierGAT-realistic shapes
+// (token sequences of a few dozen rows, feature dims d in {64,128,256}),
+// plus a head-to-head of the blocked SGEMM kernel against the seed
+// i-k-j scalar loop it replaced. Emits hiergat-bench-v1 JSON via
+// --json_out=PATH (validated by tools/check_bench_json.py).
+
+#include <chrono>
+#include <functional>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rng.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/pool.h"
+#include "tensor/tensor.h"
+
+namespace hiergat {
+namespace {
+
+double Seconds(const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The seed MatMul inner loop (pre-kernel ops.cc), kept verbatim as the
+/// baseline the 2x acceptance bar is measured against.
+void SeedGemmIkj(int m, int n, int k, const float* ad, const float* bd,
+                 float* od) {
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float av = ad[static_cast<size_t>(i) * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = bd + static_cast<size_t>(kk) * n;
+      float* orow = od + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+/// Median wall-seconds of `reps` timed calls to `fn` (after one warmup).
+template <typename Fn>
+std::vector<double> TimeReps(int reps, Fn fn) {
+  fn();  // Warmup: page in buffers, prime the pool.
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    times.push_back(Seconds(start));
+  }
+  return times;
+}
+
+double Flops(int m, int n, int k) {
+  return 2.0 * static_cast<double>(m) * n * k;
+}
+
+int main_impl(int argc, char** argv) {
+  bench::PrintHeader(
+      "Tensor op kernels",
+      "blocked/unrolled SGEMM and fused Linear/softmax/layernorm kernels "
+      "outperform the seed scalar loops at model-realistic shapes");
+
+  const int reps = bench::IntEnv("HIERGAT_BENCH_TENSOR_REPS", 30);
+  const int inner = bench::IntEnv("HIERGAT_BENCH_TENSOR_INNER", 8);
+  Rng rng(42);
+
+  bench::BenchResult result("tensor_ops");
+  result.AddParam("reps", reps);
+  result.AddParam("inner_iters", inner);
+  result.AddParam("dims", "64,128,256");
+
+  bench::Table table("Tensor op kernels (single thread)",
+                     {"op", "shape", "p50 us/call", "GFLOP/s"});
+
+  // -- Headline: kernel GEMM vs the seed i-k-j loop at [128x128]^2 ----
+  const int kHead = 128;
+  std::vector<float> a(static_cast<size_t>(kHead) * kHead);
+  std::vector<float> b(a.size());
+  std::vector<float> c(a.size(), 0.0f);
+  for (float& v : a) v = rng.NextGaussian();
+  for (float& v : b) v = rng.NextGaussian();
+
+  const std::vector<double> seed_times = TimeReps(reps, [&] {
+    for (int i = 0; i < inner; ++i)
+      SeedGemmIkj(kHead, kHead, kHead, a.data(), b.data(), c.data());
+  });
+  const std::vector<double> kernel_times = TimeReps(reps, [&] {
+    for (int i = 0; i < inner; ++i)
+      kernels::GemmNN(kHead, kHead, kHead, 1.0f, a.data(), b.data(),
+                      c.data());
+  });
+  const double seed_p50 = bench::PercentileOf(seed_times, 0.5) / inner;
+  const double kern_p50 = bench::PercentileOf(kernel_times, 0.5) / inner;
+  const double speedup = seed_p50 / kern_p50;
+  const double kern_gflops = Flops(kHead, kHead, kHead) / kern_p50 / 1e9;
+  table.AddRow({"gemm seed i-k-j", "[128,128]x[128,128]",
+                bench::Fmt(seed_p50 * 1e6),
+                bench::Fmt(Flops(kHead, kHead, kHead) / seed_p50 / 1e9, 2)});
+  table.AddRow({"gemm kernel", "[128,128]x[128,128]",
+                bench::Fmt(kern_p50 * 1e6), bench::Fmt(kern_gflops, 2)});
+  table.AddSeparator();
+  result.AddMetric("gemm128.seed_us", seed_p50 * 1e6);
+  result.AddMetric("gemm128.kernel_us", kern_p50 * 1e6);
+  result.AddMetric("gemm128.speedup_vs_seed", speedup);
+  result.AddMetric("gemm128.kernel_gflops", kern_gflops);
+
+  // Backward-shape variants at the same size.
+  for (const char* variant : {"nt", "tn"}) {
+    const bool nt = variant[0] == 'n';
+    const std::vector<double> times = TimeReps(reps, [&] {
+      for (int i = 0; i < inner; ++i) {
+        if (nt) {
+          kernels::GemmNT(kHead, kHead, kHead, 1.0f, a.data(), b.data(),
+                          c.data());
+        } else {
+          kernels::GemmTN(kHead, kHead, kHead, 1.0f, a.data(), b.data(),
+                          c.data());
+        }
+      }
+    });
+    const double p50 = bench::PercentileOf(times, 0.5) / inner;
+    table.AddRow({std::string("gemm ") + variant + " (backward)",
+                  "[128,128]x[128,128]", bench::Fmt(p50 * 1e6),
+                  bench::Fmt(Flops(kHead, kHead, kHead) / p50 / 1e9, 2)});
+    result.AddMetric(std::string("gemm128.") + variant + "_us", p50 * 1e6);
+  }
+  table.AddSeparator();
+
+  // -- Graph-level ops at HierGAT-realistic shapes --------------------
+  // Sequences of tokens (rows ~ 24, one attribute value) against weight
+  // matrices of d in {64, 128, 256}.
+  const int kRows = 24;
+  std::vector<double> all_latencies;
+  for (int d : {64, 128, 256}) {
+    Tensor x = Tensor::Randn({kRows, d}, rng);
+    Tensor w = Tensor::Randn({d, d}, rng);
+    Tensor bias = Tensor::Randn({d}, rng);
+    Tensor gamma = Tensor::Full({d}, 1.0f);
+    Tensor beta = Tensor::Zeros({d});
+    Tensor q = Tensor::Randn({kRows, d}, rng);
+    Tensor k = Tensor::Randn({kRows, d}, rng);
+    NoGradGuard guard;  // Inference path: value-only nodes, pooled churn.
+    const std::string shape =
+        "[" + std::to_string(kRows) + "," + std::to_string(d) + "]";
+    struct OpCase {
+      const char* name;
+      std::function<Tensor()> run;
+      double flops;
+    };
+    const OpCase cases[] = {
+        {"MatMul", [&] { return MatMul(x, w); }, Flops(kRows, d, d)},
+        {"Linear (fused)", [&] { return LinearOp(x, w, bias); },
+         Flops(kRows, d, d)},
+        {"AttentionScores", [&] { return AttentionScores(q, k, 0.125f); },
+         Flops(kRows, kRows, d)},
+        {"Softmax", [&] { return Softmax(x); },
+         static_cast<double>(kRows) * d * 3},
+        {"LayerNorm", [&] { return LayerNorm(x, gamma, beta); },
+         static_cast<double>(kRows) * d * 4},
+    };
+    for (const OpCase& op : cases) {
+      const std::vector<double> times = TimeReps(reps, [&] {
+        for (int i = 0; i < inner; ++i) {
+          Tensor out = op.run();
+          (void)out;
+        }
+      });
+      const double p50 = bench::PercentileOf(times, 0.5) / inner;
+      all_latencies.push_back(p50);
+      table.AddRow({op.name, shape + "x[" + std::to_string(d) + "]",
+                    bench::Fmt(p50 * 1e6),
+                    bench::Fmt(op.flops / p50 / 1e9, 2)});
+      std::string key = op.name;
+      for (char& ch : key) {
+        if (ch == ' ' || ch == '(' || ch == ')') ch = '_';
+      }
+      result.AddMetric(key + ".d" + std::to_string(d) + ".us", p50 * 1e6);
+    }
+    table.AddSeparator();
+  }
+
+  // Pool engagement during the loop above (thread-local stats).
+  const auto& pool_stats =
+      internal_tensor::BufferPool::ThreadLocal().stats();
+  result.AddMetric("pool.hits", static_cast<double>(pool_stats.hits));
+  result.AddMetric("pool.misses", static_cast<double>(pool_stats.misses));
+  result.AddMetric("pool.bytes_reused",
+                   static_cast<double>(pool_stats.bytes_reused));
+
+  table.Print();
+  std::printf(
+      "\ngemm [128,128]x[128,128]: kernel %.1f us vs seed %.1f us "
+      "(%.2fx)\npool: %lld hits / %lld misses\n",
+      kern_p50 * 1e6, seed_p50 * 1e6, speedup,
+      static_cast<long long>(pool_stats.hits),
+      static_cast<long long>(pool_stats.misses));
+
+  result.SetLatencies(all_latencies);
+  result.set_throughput(Flops(kHead, kHead, kHead) / kern_p50);
+  const std::string json_path = bench::JsonOutPath(argc, argv);
+  if (!bench::WriteBenchJson(json_path, result)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace hiergat
+
+int main(int argc, char** argv) { return hiergat::main_impl(argc, argv); }

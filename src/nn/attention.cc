@@ -70,9 +70,9 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& q_input,
     Tensor q = q_proj_[h]->Forward(q_input);    // [Lq, hd]
     Tensor k = k_proj_[h]->Forward(kv_input);   // [Lk, hd]
     Tensor v = v_proj_[h]->Forward(kv_input);   // [Lk, hd]
-    Tensor scores = Scale(MatMul(q, Transpose(k)), scale);  // [Lq, Lk]
-    if (diag_mask.defined()) scores = Add(scores, diag_mask);
-    Tensor attn = Softmax(scores);
+    // Fused scaled QK^T + mask + row-softmax: one graph node per head
+    // instead of MatMul/Transpose/Scale/Add/Softmax.
+    Tensor attn = AttentionScores(q, k, scale, diag_mask);  // [Lq, Lk]
     if (AttentionRecordingEnabled()) {
       attn_sum = attn_sum.defined() ? Add(attn_sum, attn.Detach())
                                     : attn.Detach();

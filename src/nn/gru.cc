@@ -18,15 +18,20 @@ Gru::Gru(int input_dim, int hidden_dim, Rng& rng)
 Tensor Gru::Forward(const Tensor& x, bool reverse) const {
   HG_CHECK_EQ(x.dim(1), input_dim_);
   const int len = x.dim(0);
+  // Input projections are time-independent: hoist them out of the
+  // recurrence as three sequence-wide fused GEMMs ([len, hidden] each)
+  // instead of 3 * len per-step [1, hidden] GEMM nodes.
+  Tensor xz = wz_->Forward(x);
+  Tensor xr = wr_->Forward(x);
+  Tensor xn = wn_->Forward(x);
   Tensor h = Tensor::Zeros({1, hidden_dim_});
   std::vector<Tensor> states(static_cast<size_t>(len));
   Tensor ones = Tensor::Full({1, hidden_dim_}, 1.0f);
   for (int step = 0; step < len; ++step) {
     const int t = reverse ? len - 1 - step : step;
-    Tensor xt = Row(x, t);
-    Tensor z = Sigmoid(Add(wz_->Forward(xt), uz_->Forward(h)));
-    Tensor r = Sigmoid(Add(wr_->Forward(xt), ur_->Forward(h)));
-    Tensor n = Tanh(Add(wn_->Forward(xt), un_->Forward(Mul(r, h))));
+    Tensor z = Sigmoid(Add(Row(xz, t), uz_->Forward(h)));
+    Tensor r = Sigmoid(Add(Row(xr, t), ur_->Forward(h)));
+    Tensor n = Tanh(Add(Row(xn, t), un_->Forward(Mul(r, h))));
     h = Add(Mul(Sub(ones, z), h), Mul(z, n));
     states[static_cast<size_t>(t)] = h;
   }

@@ -15,9 +15,8 @@ Linear::Linear(int in_features, int out_features, Rng& rng, bool use_bias)
 
 Tensor Linear::Forward(const Tensor& x) const {
   HG_CHECK_EQ(x.dim(1), in_features_);
-  Tensor y = MatMul(x, weight_);
-  if (bias_.defined()) y = Add(y, bias_);
-  return y;
+  // Fused GEMM + bias: one graph node, no intermediate xW tensor.
+  return LinearOp(x, weight_, bias_);
 }
 
 std::vector<Tensor> Linear::Parameters() const {

@@ -1,0 +1,92 @@
+#ifndef HIERGAT_TENSOR_KERNELS_H_
+#define HIERGAT_TENSOR_KERNELS_H_
+
+#include <cstddef>
+
+namespace hiergat {
+namespace kernels {
+
+// Raw-pointer compute kernels shared by forward ops and backward
+// closures (tensor/ops.cc). This layer separates *what* an op computes
+// from *how* the bytes move: everything here is plain dense row-major
+// float math with no Tensor, shape, or autograd dependency, written so
+// the compiler's vectorizer gets contiguous fixed-width inner loops
+// (register-blocked GEMM micro-tiles, unrolled reductions).
+//
+// Conventions:
+//  - GEMM kernels *accumulate*: C += alpha * op(A) * op(B). Callers
+//    zero C first when they want assignment (fresh tensor buffers and
+//    EnsureGrad() buffers are already zero-filled).
+//  - All matrices are dense row-major with no padding (leading
+//    dimension == column count).
+//  - `rows`/`cols`/`m`/`n`/`k` are int to match Tensor::dim().
+
+// -- GEMM family ---------------------------------------------------------
+
+/// C[m,n] += alpha * A[m,k] * B[k,n].
+void GemmNN(int m, int n, int k, float alpha, const float* a, const float* b,
+            float* c);
+
+/// C[m,n] += alpha * A[m,k] * B[n,k]^T — the dA = dOut * B^T shape of
+/// the MatMul backward pass (and the Q*K^T of attention scores).
+void GemmNT(int m, int n, int k, float alpha, const float* a, const float* b,
+            float* c);
+
+/// C[m,n] += alpha * A[k,m]^T * B[k,n] — the dB = A^T * dOut shape of
+/// the MatMul backward pass.
+void GemmTN(int m, int n, int k, float alpha, const float* a, const float* b,
+            float* c);
+
+// -- Elementwise ---------------------------------------------------------
+
+/// y[i] += alpha * x[i].
+void Axpy(size_t n, float alpha, const float* x, float* y);
+/// y[i] += x[i] (gradient accumulation; Axpy with alpha 1 without the
+/// multiply).
+void Accumulate(size_t n, const float* x, float* y);
+/// out[i] = a[i] + b[i].
+void AddInto(size_t n, const float* a, const float* b, float* out);
+/// out[i] = a[i] - b[i].
+void SubInto(size_t n, const float* a, const float* b, float* out);
+/// out[i] = a[i] * b[i].
+void MulInto(size_t n, const float* a, const float* b, float* out);
+/// y[i] += x[i] * w[i] (Hadamard backward: dA += dOut ⊙ B).
+void MulAccumulate(size_t n, const float* x, const float* w, float* y);
+/// out[i] = s * x[i].
+void ScaleInto(size_t n, float s, const float* x, float* out);
+
+// -- Row-structured ------------------------------------------------------
+
+/// inout[r,c] += bias[c] for every row (fused Linear bias).
+void AddBiasRows(int rows, int cols, const float* bias, float* inout);
+/// dst[c] += sum_r src[r,c] (bias gradient / SumRows backward shape).
+void ColSumAccumulate(int rows, int cols, const float* src, float* dst);
+
+/// Row-wise softmax of x[rows,cols] into y, max-subtracted for
+/// stability. In-place (y == x) is allowed.
+void SoftmaxRows(int rows, int cols, const float* x, float* y);
+
+/// Row-wise softmax backward: gx[r,c] += (gy[r,c] - <gy_r, y_r>) *
+/// y[r,c] where y is the forward output.
+void SoftmaxBackwardRows(int rows, int cols, const float* y, const float* gy,
+                         float* gx);
+
+/// Row-wise layer norm: y = gamma * xhat + beta with
+/// xhat = (x - mean_r) * inv_std_r. Writes the per-row inverse stddev
+/// and normalized values needed by the backward pass into `inv_std`
+/// [rows] and `xhat` [rows*cols].
+void LayerNormRows(int rows, int cols, float eps, const float* x,
+                   const float* gamma, const float* beta, float* y,
+                   float* xhat, float* inv_std);
+
+/// Layer-norm backward from cached xhat/inv_std. Any of gx / ggamma /
+/// gbeta may be null to skip that input's gradient.
+void LayerNormBackwardRows(int rows, int cols, const float* xhat,
+                           const float* inv_std, const float* gamma,
+                           const float* gy, float* gx, float* ggamma,
+                           float* gbeta);
+
+}  // namespace kernels
+}  // namespace hiergat
+
+#endif  // HIERGAT_TENSOR_KERNELS_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "tensor/kernels.h"
+#include "tensor/pool.h"
 
 namespace hiergat {
 
@@ -39,16 +41,20 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
   const size_t n = a.data().size();
-  for (size_t i = 0; i < n; ++i) out.data()[i] = fwd(a.data()[i]);
+  const float* ad = a.data().data();
+  float* od = out.data().data();
+  for (size_t i = 0; i < n; ++i) od[i] = fwd(ad[i]);
   if (rg) {
     Impl ai = a.impl().get();
     Impl oi = out.impl().get();
     out.set_backward_fn([ai, oi, bwd]() {
       ai->EnsureGrad();
-      const size_t n = ai->data.size();
-      for (size_t i = 0; i < n; ++i) {
-        ai->grad[i] += oi->grad[i] * bwd(ai->data[i], oi->data[i]);
-      }
+      const size_t n = ai->data().size();
+      const float* ad = ai->data().data();
+      const float* od = oi->data().data();
+      const float* go = oi->grad.data();
+      float* ga = ai->grad.data();
+      for (size_t i = 0; i < n; ++i) ga[i] += go[i] * bwd(ad[i], od[i]);
     });
   }
   return out;
@@ -61,25 +67,20 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   if (IsBiasBroadcast(a, b)) {
     Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
     const int rows = a.dim(0), cols = a.dim(1);
-    for (int r = 0; r < rows; ++r) {
-      for (int c = 0; c < cols; ++c) {
-        out.set(r, c, a.at(r, c) + b.at(c));
-      }
-    }
+    std::copy(a.data().begin(), a.data().end(), out.data().begin());
+    kernels::AddBiasRows(rows, cols, b.data().data(), out.data().data());
     if (rg) {
       Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
       out.set_backward_fn([ai, bi, oi, rows, cols]() {
         if (ai->requires_grad) {
           ai->EnsureGrad();
-          for (size_t i = 0; i < ai->data.size(); ++i)
-            ai->grad[i] += oi->grad[i];
+          kernels::Accumulate(ai->data().size(), oi->grad.data(),
+                              ai->grad.data());
         }
         if (bi->requires_grad) {
           bi->EnsureGrad();
-          for (int r = 0; r < rows; ++r)
-            for (int c = 0; c < cols; ++c)
-              bi->grad[static_cast<size_t>(c)] +=
-                  oi->grad[static_cast<size_t>(r) * cols + c];
+          kernels::ColSumAccumulate(rows, cols, oi->grad.data(),
+                                    bi->grad.data());
         }
       });
     }
@@ -87,46 +88,101 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   }
   CheckSameShape(a, b, "Add");
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
-  for (size_t i = 0; i < a.data().size(); ++i)
-    out.data()[i] = a.data()[i] + b.data()[i];
+  kernels::AddInto(a.data().size(), a.data().data(), b.data().data(),
+                   out.data().data());
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi]() {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < ai->data.size(); ++i)
-          ai->grad[i] += oi->grad[i];
+        kernels::Accumulate(ai->data().size(), oi->grad.data(),
+                            ai->grad.data());
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (size_t i = 0; i < bi->data.size(); ++i)
-          bi->grad[i] += oi->grad[i];
+        kernels::Accumulate(bi->data().size(), oi->grad.data(),
+                            bi->grad.data());
       }
     });
   }
   return out;
 }
 
-Tensor Sub(const Tensor& a, const Tensor& b) { return Add(a, Neg(b)); }
-
-Tensor Mul(const Tensor& a, const Tensor& b) {
-  CheckSameShape(a, b, "Mul");
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  // Direct node (not Add(a, Neg(b))): one graph node and no negated
+  // temporary per call.
   const bool rg = AnyRequiresGrad(a, b);
+  if (IsBiasBroadcast(a, b)) {
+    Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
+    const int rows = a.dim(0), cols = a.dim(1);
+    const float* ad = a.data().data();
+    const float* bd = b.data().data();
+    float* od = out.data().data();
+    for (int r = 0; r < rows; ++r) {
+      kernels::SubInto(static_cast<size_t>(cols),
+                       ad + static_cast<size_t>(r) * cols, bd,
+                       od + static_cast<size_t>(r) * cols);
+    }
+    if (rg) {
+      Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
+      out.set_backward_fn([ai, bi, oi, rows, cols]() {
+        if (ai->requires_grad) {
+          ai->EnsureGrad();
+          kernels::Accumulate(ai->data().size(), oi->grad.data(),
+                              ai->grad.data());
+        }
+        if (bi->requires_grad) {
+          bi->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            kernels::Axpy(static_cast<size_t>(cols), -1.0f,
+                          oi->grad.data() + static_cast<size_t>(r) * cols,
+                          bi->grad.data());
+          }
+        }
+      });
+    }
+    return out;
+  }
+  CheckSameShape(a, b, "Sub");
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
-  for (size_t i = 0; i < a.data().size(); ++i)
-    out.data()[i] = a.data()[i] * b.data()[i];
+  kernels::SubInto(a.data().size(), a.data().data(), b.data().data(),
+                   out.data().data());
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi]() {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        for (size_t i = 0; i < ai->data.size(); ++i)
-          ai->grad[i] += oi->grad[i] * bi->data[i];
+        kernels::Accumulate(ai->data().size(), oi->grad.data(),
+                            ai->grad.data());
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        for (size_t i = 0; i < bi->data.size(); ++i)
-          bi->grad[i] += oi->grad[i] * ai->data[i];
+        kernels::Axpy(bi->data().size(), -1.0f, oi->grad.data(),
+                      bi->grad.data());
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  const bool rg = AnyRequiresGrad(a, b);
+  Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
+  kernels::MulInto(a.data().size(), a.data().data(), b.data().data(),
+                   out.data().data());
+  if (rg) {
+    Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, bi, oi]() {
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        kernels::MulAccumulate(ai->data().size(), oi->grad.data(),
+                               bi->data().data(), ai->grad.data());
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        kernels::MulAccumulate(bi->data().size(), oi->grad.data(),
+                               ai->data().data(), bi->grad.data());
       }
     });
   }
@@ -134,9 +190,18 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  return UnaryOp(
-      a, [s](float x) { return x * s; },
-      [s](float, float) { return s; });
+  const bool rg = AnyRequiresGrad(a);
+  Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
+  kernels::ScaleInto(a.data().size(), s, a.data().data(),
+                     out.data().data());
+  if (rg) {
+    Impl ai = a.impl().get(), oi = out.impl().get();
+    out.set_backward_fn([ai, oi, s]() {
+      ai->EnsureGrad();
+      kernels::Axpy(ai->data().size(), s, oi->grad.data(), ai->grad.data());
+    });
+  }
+  return out;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
@@ -155,53 +220,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   const bool rg = AnyRequiresGrad(a, b);
   Tensor out = Tensor::MakeNode({m, n}, rg, {a, b});
-  // Row-major i-k-j loop keeps the inner loop contiguous in both b and out.
-  const float* ad = a.data().data();
-  const float* bd = b.data().data();
-  float* od = out.data().data();
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = ad[static_cast<size_t>(i) * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = bd + static_cast<size_t>(kk) * n;
-      float* orow = od + static_cast<size_t>(i) * n;
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  // Fresh buffers come from the pool zero-filled, so the accumulating
+  // GEMM kernel computes plain assignment here.
+  kernels::GemmNN(m, n, k, 1.0f, a.data().data(), b.data().data(),
+                  out.data().data());
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi, m, k, n]() {
       const float* go = oi->grad.data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        // dA = dOut * B^T  (m x n) x (n x k)
-        float* ga = ai->grad.data();
-        const float* bd = bi->data.data();
-        for (int i = 0; i < m; ++i) {
-          for (int j = 0; j < n; ++j) {
-            const float gv = go[static_cast<size_t>(i) * n + j];
-            if (gv == 0.0f) continue;
-            for (int kk = 0; kk < k; ++kk) {
-              ga[static_cast<size_t>(i) * k + kk] +=
-                  gv * bd[static_cast<size_t>(kk) * n + j];
-            }
-          }
-        }
+        // dA += dOut * B^T  ([m, n] x [k, n]^T).
+        kernels::GemmNT(m, k, n, 1.0f, go, bi->data().data(),
+                        ai->grad.data());
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        // dB = A^T * dOut  (k x m) x (m x n)
-        float* gb = bi->grad.data();
-        const float* ad = ai->data.data();
-        for (int i = 0; i < m; ++i) {
-          for (int kk = 0; kk < k; ++kk) {
-            const float av = ad[static_cast<size_t>(i) * k + kk];
-            if (av == 0.0f) continue;
-            const float* grow = go + static_cast<size_t>(i) * n;
-            float* brow = gb + static_cast<size_t>(kk) * n;
-            for (int j = 0; j < n; ++j) brow[j] += av * grow[j];
-          }
-        }
+        // dB += A^T * dOut  ([m, k]^T x [m, n]).
+        kernels::GemmTN(k, n, m, 1.0f, ai->data().data(), go,
+                        bi->grad.data());
       }
     });
   }
@@ -213,8 +250,11 @@ Tensor Transpose(const Tensor& a) {
   const int r = a.dim(0), c = a.dim(1);
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode({c, r}, rg, {a});
+  const float* ad = a.data().data();
+  float* od = out.data().data();
   for (int i = 0; i < r; ++i)
-    for (int j = 0; j < c; ++j) out.set(j, i, a.at(i, j));
+    for (int j = 0; j < c; ++j)
+      od[static_cast<size_t>(j) * r + i] = ad[static_cast<size_t>(i) * c + j];
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, r, c]() {
@@ -231,14 +271,15 @@ Tensor Transpose(const Tensor& a) {
 Tensor Reshape(const Tensor& a, const Shape& shape) {
   HG_CHECK_EQ(NumElements(shape), a.numel());
   const bool rg = AnyRequiresGrad(a);
-  Tensor out = Tensor::MakeNode(shape, rg, {a});
-  out.data() = a.data();
+  // Aliases the parent's storage (no buffer copy); only the gradient
+  // buffers stay separate.
+  Tensor out = Tensor::MakeAlias(shape, rg, a);
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi]() {
       ai->EnsureGrad();
-      for (size_t i = 0; i < ai->data.size(); ++i)
-        ai->grad[i] += oi->grad[i];
+      kernels::Accumulate(ai->data().size(), oi->grad.data(),
+                          ai->grad.data());
     });
   }
   return out;
@@ -275,10 +316,10 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
       for (const Impl& pi : impls) {
         if (pi->requires_grad) {
           pi->EnsureGrad();
-          for (size_t i = 0; i < pi->data.size(); ++i)
-            pi->grad[i] += oi->grad[offset + i];
+          kernels::Accumulate(pi->data().size(), oi->grad.data() + offset,
+                              pi->grad.data());
         }
-        offset += pi->data.size();
+        offset += pi->data().size();
       }
     });
   }
@@ -298,11 +339,18 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
   }
   rg = rg && GradModeEnabled();
   Tensor out = Tensor::MakeNode({rows, cols}, rg, parts);
+  // Row-wise contiguous copies (matching ConcatRows) instead of
+  // per-element at/set.
   int col_offset = 0;
   for (const Tensor& p : parts) {
     const int pc = p.dim(1);
-    for (int r = 0; r < rows; ++r)
-      for (int c = 0; c < pc; ++c) out.set(r, col_offset + c, p.at(r, c));
+    const float* pd = p.data().data();
+    float* od = out.data().data() + col_offset;
+    for (int r = 0; r < rows; ++r) {
+      std::copy(pd + static_cast<size_t>(r) * pc,
+                pd + static_cast<size_t>(r + 1) * pc,
+                od + static_cast<size_t>(r) * cols);
+    }
     col_offset += pc;
   }
   if (rg) {
@@ -320,10 +368,13 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
         const int pc = widths[pi];
         if (part->requires_grad) {
           part->EnsureGrad();
-          for (int r = 0; r < rows; ++r)
-            for (int c = 0; c < pc; ++c)
-              part->grad[static_cast<size_t>(r) * pc + c] +=
-                  oi->grad[static_cast<size_t>(r) * cols + col_offset + c];
+          const float* go = oi->grad.data() + col_offset;
+          for (int r = 0; r < rows; ++r) {
+            kernels::Accumulate(static_cast<size_t>(pc),
+                                go + static_cast<size_t>(r) * cols,
+                                part->grad.data() +
+                                    static_cast<size_t>(r) * pc);
+          }
         }
         col_offset += pc;
       }
@@ -345,9 +396,9 @@ Tensor SliceRows(const Tensor& a, int begin, int end) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, begin, cols]() {
       ai->EnsureGrad();
-      const size_t base = static_cast<size_t>(begin) * cols;
-      for (size_t i = 0; i < oi->data.size(); ++i)
-        ai->grad[base + i] += oi->grad[i];
+      kernels::Accumulate(oi->data().size(), oi->grad.data(),
+                          ai->grad.data() +
+                              static_cast<size_t>(begin) * cols);
     });
   }
   return out;
@@ -359,16 +410,23 @@ Tensor SliceCols(const Tensor& a, int begin, int end) {
   const int rows = a.dim(0), cols = a.dim(1), width = end - begin;
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode({rows, width}, rg, {a});
-  for (int r = 0; r < rows; ++r)
-    for (int c = 0; c < width; ++c) out.set(r, c, a.at(r, begin + c));
+  const float* ad = a.data().data() + begin;
+  float* od = out.data().data();
+  for (int r = 0; r < rows; ++r) {
+    std::copy(ad + static_cast<size_t>(r) * cols,
+              ad + static_cast<size_t>(r) * cols + width,
+              od + static_cast<size_t>(r) * width);
+  }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, rows, cols, begin, width]() {
       ai->EnsureGrad();
-      for (int r = 0; r < rows; ++r)
-        for (int c = 0; c < width; ++c)
-          ai->grad[static_cast<size_t>(r) * cols + begin + c] +=
-              oi->grad[static_cast<size_t>(r) * width + c];
+      float* ga = ai->grad.data() + begin;
+      for (int r = 0; r < rows; ++r) {
+        kernels::Accumulate(static_cast<size_t>(width),
+                            oi->grad.data() + static_cast<size_t>(r) * width,
+                            ga + static_cast<size_t>(r) * cols);
+      }
     });
   }
   return out;
@@ -394,9 +452,10 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
     out.set_backward_fn([ai, oi, indices, cols]() {
       ai->EnsureGrad();
       for (size_t i = 0; i < indices.size(); ++i) {
-        const size_t dst = static_cast<size_t>(indices[i]) * cols;
-        for (int c = 0; c < cols; ++c)
-          ai->grad[dst + c] += oi->grad[i * cols + c];
+        kernels::Accumulate(static_cast<size_t>(cols),
+                            oi->grad.data() + i * cols,
+                            ai->grad.data() +
+                                static_cast<size_t>(indices[i]) * cols);
       }
     });
   }
@@ -463,7 +522,7 @@ Tensor Sum(const Tensor& a) {
     out.set_backward_fn([ai, oi]() {
       ai->EnsureGrad();
       const float g = oi->grad[0];
-      for (size_t i = 0; i < ai->data.size(); ++i) ai->grad[i] += g;
+      for (size_t i = 0; i < ai->data().size(); ++i) ai->grad[i] += g;
     });
   }
   return out;
@@ -478,17 +537,15 @@ Tensor SumRows(const Tensor& a) {
   const int rows = a.dim(0), cols = a.dim(1);
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode({1, cols}, rg, {a});
-  for (int r = 0; r < rows; ++r)
-    for (int c = 0; c < cols; ++c)
-      out.data()[static_cast<size_t>(c)] += a.at(r, c);
+  kernels::ColSumAccumulate(rows, cols, a.data().data(), out.data().data());
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, rows, cols]() {
       ai->EnsureGrad();
-      for (int r = 0; r < rows; ++r)
-        for (int c = 0; c < cols; ++c)
-          ai->grad[static_cast<size_t>(r) * cols + c] +=
-              oi->grad[static_cast<size_t>(c)];
+      for (int r = 0; r < rows; ++r) {
+        kernels::Accumulate(static_cast<size_t>(cols), oi->grad.data(),
+                            ai->grad.data() + static_cast<size_t>(r) * cols);
+      }
     });
   }
   return out;
@@ -503,30 +560,13 @@ Tensor Softmax(const Tensor& a) {
   const int cols = a.rank() == 2 ? a.dim(1) : a.dim(0);
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
-  for (int r = 0; r < rows; ++r) {
-    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
-    float* o = out.data().data() + static_cast<size_t>(r) * cols;
-    float mx = in[0];
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    float denom = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      o[c] = std::exp(in[c] - mx);
-      denom += o[c];
-    }
-    for (int c = 0; c < cols; ++c) o[c] /= denom;
-  }
+  kernels::SoftmaxRows(rows, cols, a.data().data(), out.data().data());
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, rows, cols]() {
       ai->EnsureGrad();
-      for (int r = 0; r < rows; ++r) {
-        const float* y = oi->data.data() + static_cast<size_t>(r) * cols;
-        const float* gy = oi->grad.data() + static_cast<size_t>(r) * cols;
-        float* gx = ai->grad.data() + static_cast<size_t>(r) * cols;
-        float dot = 0.0f;
-        for (int c = 0; c < cols; ++c) dot += gy[c] * y[c];
-        for (int c = 0; c < cols; ++c) gx[c] += (gy[c] - dot) * y[c];
-      }
+      kernels::SoftmaxBackwardRows(rows, cols, oi->data().data(),
+                                   oi->grad.data(), ai->grad.data());
     });
   }
   return out;
@@ -543,65 +583,158 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                   (x.requires_grad() || gamma.requires_grad() ||
                    beta.requires_grad());
   Tensor out = Tensor::MakeNode(x.shape(), rg, {x, gamma, beta});
-  // Cache per-row inverse stddev and normalized values for backward.
-  auto inv_std = std::make_shared<std::vector<float>>(rows);
-  auto xhat = std::make_shared<std::vector<float>>(x.data().size());
-  for (int r = 0; r < rows; ++r) {
-    const float* in = x.data().data() + static_cast<size_t>(r) * cols;
-    float mean = 0.0f;
-    for (int c = 0; c < cols; ++c) mean += in[c];
-    mean /= static_cast<float>(cols);
-    float var = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      const float d = in[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(cols);
-    const float istd = 1.0f / std::sqrt(var + eps);
-    (*inv_std)[static_cast<size_t>(r)] = istd;
-    for (int c = 0; c < cols; ++c) {
-      const float xh = (in[c] - mean) * istd;
-      (*xhat)[static_cast<size_t>(r) * cols + c] = xh;
-      out.set(r, c, gamma.at(c) * xh + beta.at(c));
-    }
+  if (!rg) {
+    // Inference path: the kernel still needs xhat/inv_std scratch, but
+    // nothing outlives the call — borrow it from the pool.
+    auto& pool = internal_tensor::BufferPool::ThreadLocal();
+    std::vector<float> xhat = pool.Acquire(x.data().size());
+    std::vector<float> inv_std = pool.Acquire(static_cast<size_t>(rows));
+    kernels::LayerNormRows(rows, cols, eps, x.data().data(),
+                           gamma.data().data(), beta.data().data(),
+                           out.data().data(), xhat.data(), inv_std.data());
+    pool.Release(std::move(xhat));
+    pool.Release(std::move(inv_std));
+    return out;
   }
-  if (rg) {
+  // Cache per-row inverse stddev and normalized values for backward.
+  auto inv_std = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows));
+  auto xhat = std::make_shared<std::vector<float>>(x.data().size());
+  kernels::LayerNormRows(rows, cols, eps, x.data().data(),
+                         gamma.data().data(), beta.data().data(),
+                         out.data().data(), xhat->data(), inv_std->data());
+  {
     Impl xi = x.impl().get(), gi = gamma.impl().get(),
          bi = beta.impl().get(), oi = out.impl().get();
     out.set_backward_fn([xi, gi, bi, oi, inv_std, xhat, rows, cols]() {
-      for (int r = 0; r < rows; ++r) {
-        const float* gy = oi->grad.data() + static_cast<size_t>(r) * cols;
-        const float* xh = xhat->data() + static_cast<size_t>(r) * cols;
-        if (gi->requires_grad) {
-          gi->EnsureGrad();
-          for (int c = 0; c < cols; ++c)
-            gi->grad[static_cast<size_t>(c)] += gy[c] * xh[c];
-        }
-        if (bi->requires_grad) {
-          bi->EnsureGrad();
-          for (int c = 0; c < cols; ++c)
-            bi->grad[static_cast<size_t>(c)] += gy[c];
-        }
-        if (xi->requires_grad) {
-          xi->EnsureGrad();
-          float* gx = xi->grad.data() + static_cast<size_t>(r) * cols;
-          // dxhat = gy * gamma; dx = istd * (dxhat - mean(dxhat)
-          //        - xhat * mean(dxhat * xhat))
-          float mean_dxhat = 0.0f, mean_dxhat_xhat = 0.0f;
-          for (int c = 0; c < cols; ++c) {
-            const float dxh = gy[c] * gi->data[static_cast<size_t>(c)];
-            mean_dxhat += dxh;
-            mean_dxhat_xhat += dxh * xh[c];
-          }
-          mean_dxhat /= static_cast<float>(cols);
-          mean_dxhat_xhat /= static_cast<float>(cols);
-          const float istd = (*inv_std)[static_cast<size_t>(r)];
-          for (int c = 0; c < cols; ++c) {
-            const float dxh = gy[c] * gi->data[static_cast<size_t>(c)];
-            gx[c] += istd * (dxh - mean_dxhat - xh[c] * mean_dxhat_xhat);
-          }
-        }
+      float* gx = nullptr;
+      float* ggamma = nullptr;
+      float* gbeta = nullptr;
+      if (xi->requires_grad) {
+        xi->EnsureGrad();
+        gx = xi->grad.data();
       }
+      if (gi->requires_grad) {
+        gi->EnsureGrad();
+        ggamma = gi->grad.data();
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        gbeta = bi->grad.data();
+      }
+      kernels::LayerNormBackwardRows(rows, cols, xhat->data(),
+                                     inv_std->data(), gi->data().data(),
+                                     oi->grad.data(), gx, ggamma, gbeta);
+    });
+  }
+  return out;
+}
+
+Tensor LinearOp(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  HG_CHECK_EQ(x.rank(), 2);
+  HG_CHECK_EQ(w.rank(), 2);
+  HG_CHECK_EQ(x.dim(1), w.dim(0))
+      << "LinearOp " << ShapeToString(x.shape()) << " x "
+      << ShapeToString(w.shape());
+  const int m = x.dim(0), k = x.dim(1), n = w.dim(1);
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    HG_CHECK_EQ(bias.rank(), 1);
+    HG_CHECK_EQ(bias.dim(0), n);
+  }
+  const bool rg =
+      GradModeEnabled() &&
+      (x.requires_grad() || w.requires_grad() ||
+       (has_bias && bias.requires_grad()));
+  std::vector<Tensor> parents = {x, w};
+  if (has_bias) parents.push_back(bias);
+  Tensor out = Tensor::MakeNode({m, n}, rg, std::move(parents));
+  kernels::GemmNN(m, n, k, 1.0f, x.data().data(), w.data().data(),
+                  out.data().data());
+  if (has_bias) {
+    kernels::AddBiasRows(m, n, bias.data().data(), out.data().data());
+  }
+  if (rg) {
+    Impl xi = x.impl().get(), wi = w.impl().get(), oi = out.impl().get();
+    Impl bi = has_bias ? bias.impl().get() : nullptr;
+    out.set_backward_fn([xi, wi, bi, oi, m, k, n]() {
+      const float* go = oi->grad.data();
+      if (xi->requires_grad) {
+        xi->EnsureGrad();
+        // dX += dOut * W^T.
+        kernels::GemmNT(m, k, n, 1.0f, go, wi->data().data(),
+                        xi->grad.data());
+      }
+      if (wi->requires_grad) {
+        wi->EnsureGrad();
+        // dW += X^T * dOut.
+        kernels::GemmTN(k, n, m, 1.0f, xi->data().data(), go,
+                        wi->grad.data());
+      }
+      if (bi != nullptr && bi->requires_grad) {
+        bi->EnsureGrad();
+        kernels::ColSumAccumulate(m, n, go, bi->grad.data());
+      }
+    });
+  }
+  return out;
+}
+
+Tensor AttentionScores(const Tensor& q, const Tensor& k, float scale,
+                       const Tensor& mask) {
+  HG_CHECK_EQ(q.rank(), 2);
+  HG_CHECK_EQ(k.rank(), 2);
+  HG_CHECK_EQ(q.dim(1), k.dim(1))
+      << "AttentionScores " << ShapeToString(q.shape()) << " vs "
+      << ShapeToString(k.shape());
+  const int lq = q.dim(0), lk = k.dim(0), d = q.dim(1);
+  const bool has_mask = mask.defined();
+  if (has_mask) {
+    HG_CHECK_EQ(mask.rank(), 2);
+    HG_CHECK_EQ(mask.dim(0), lq);
+    HG_CHECK_EQ(mask.dim(1), lk);
+  }
+  const bool rg =
+      GradModeEnabled() &&
+      (q.requires_grad() || k.requires_grad() ||
+       (has_mask && mask.requires_grad()));
+  std::vector<Tensor> parents = {q, k};
+  if (has_mask) parents.push_back(mask);
+  Tensor out = Tensor::MakeNode({lq, lk}, rg, std::move(parents));
+  // scores = scale * Q * K^T (+ mask), softmaxed per row, all in the
+  // output buffer — no Transpose node, no scores/scaled temporaries.
+  float* od = out.data().data();
+  kernels::GemmNT(lq, lk, d, scale, q.data().data(), k.data().data(), od);
+  if (has_mask) {
+    kernels::Accumulate(out.data().size(), mask.data().data(), od);
+  }
+  kernels::SoftmaxRows(lq, lk, od, od);
+  if (rg) {
+    Impl qi = q.impl().get(), ki = k.impl().get(), oi = out.impl().get();
+    Impl mi = has_mask ? mask.impl().get() : nullptr;
+    out.set_backward_fn([qi, ki, mi, oi, lq, lk, d, scale]() {
+      // dScores via softmax backward into a pooled scratch buffer, then
+      // dQ += scale * dScores * K and dK += scale * dScores^T * Q.
+      auto& pool = internal_tensor::BufferPool::ThreadLocal();
+      std::vector<float> gs =
+          pool.Acquire(static_cast<size_t>(lq) * lk);
+      kernels::SoftmaxBackwardRows(lq, lk, oi->data().data(),
+                                   oi->grad.data(), gs.data());
+      if (qi->requires_grad) {
+        qi->EnsureGrad();
+        kernels::GemmNN(lq, d, lk, scale, gs.data(), ki->data().data(),
+                        qi->grad.data());
+      }
+      if (ki->requires_grad) {
+        ki->EnsureGrad();
+        kernels::GemmTN(lk, d, lq, scale, gs.data(), qi->data().data(),
+                        ki->grad.data());
+      }
+      if (mi != nullptr && mi->requires_grad) {
+        mi->EnsureGrad();
+        kernels::Accumulate(mi->data().size(), gs.data(), mi->grad.data());
+      }
+      internal_tensor::BufferPool::ReleaseToCurrentThread(std::move(gs));
     });
   }
   return out;
@@ -627,8 +760,8 @@ Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, mask]() {
       ai->EnsureGrad();
-      for (size_t i = 0; i < ai->data.size(); ++i)
-        ai->grad[i] += oi->grad[i] * (*mask)[i];
+      kernels::MulAccumulate(ai->data().size(), oi->grad.data(),
+                             mask->data(), ai->grad.data());
     });
   }
   return out;
@@ -643,18 +776,10 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   const bool rg = GradModeEnabled() && logits.requires_grad();
   Tensor out = Tensor::MakeNode({1}, rg, {logits});
   auto probs = std::make_shared<std::vector<float>>(logits.data().size());
+  kernels::SoftmaxRows(n, classes, logits.data().data(), probs->data());
   float loss = 0.0f;
   for (int r = 0; r < n; ++r) {
-    const float* in = logits.data().data() + static_cast<size_t>(r) * classes;
-    float* p = probs->data() + static_cast<size_t>(r) * classes;
-    float mx = in[0];
-    for (int c = 1; c < classes; ++c) mx = std::max(mx, in[c]);
-    float denom = 0.0f;
-    for (int c = 0; c < classes; ++c) {
-      p[c] = std::exp(in[c] - mx);
-      denom += p[c];
-    }
-    for (int c = 0; c < classes; ++c) p[c] /= denom;
+    const float* p = probs->data() + static_cast<size_t>(r) * classes;
     HG_CHECK(labels[static_cast<size_t>(r)] >= 0 &&
              labels[static_cast<size_t>(r)] < classes);
     loss -= std::log(std::max(p[labels[static_cast<size_t>(r)]], 1e-12f));

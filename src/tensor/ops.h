@@ -95,6 +95,22 @@ Tensor Softmax(const Tensor& a);
 Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                  float eps = 1e-5f);
 
+/// Fused affine map: x [n, in] * w [in, out] + bias, one graph node
+/// instead of MatMul + Add. `bias` is rank-1 [out] broadcast over rows,
+/// or an undefined Tensor for no bias. (Named LinearOp because `Linear`
+/// is the nn-layer class in this namespace; nn::Linear::Forward calls
+/// this.)
+Tensor LinearOp(const Tensor& x, const Tensor& w,
+                const Tensor& bias = Tensor());
+
+/// Fused attention probabilities: row-softmax(scale * q * k^T + mask)
+/// in one graph node instead of MatMul + Transpose + Scale + Add +
+/// Softmax. `q` is [Lq, d], `k` is [Lk, d] (untransposed, as projected);
+/// `mask` is an optional additive [Lq, Lk] tensor (e.g. -1e9 diagonal
+/// for self-attention). Returns the [Lq, Lk] attention distribution.
+Tensor AttentionScores(const Tensor& q, const Tensor& k, float scale,
+                       const Tensor& mask = Tensor());
+
 /// Gathers embedding rows: weight [V, F], ids in [0, V) -> [n, F].
 Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids);
 

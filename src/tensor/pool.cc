@@ -1,0 +1,131 @@
+#include "tensor/pool.h"
+
+#include "obs/metrics.h"
+
+namespace hiergat {
+namespace internal_tensor {
+
+namespace {
+
+// Null while the calling thread has no live pool — before first use and
+// again during thread teardown, when Storage destructors may still run
+// (e.g. static-duration tensors). The pointer itself is trivially
+// destructible, so reading it stays valid for the whole thread lifetime.
+thread_local BufferPool* tls_pool = nullptr;
+
+/// Smallest class whose capacity (2^(kMinClassLog2 + index)) holds `n`
+/// floats, or -1 when `n` is out of the pooled range.
+int ClassForRequest(size_t n, int min_log2, int num_classes) {
+  size_t cap = static_cast<size_t>(1) << min_log2;
+  for (int c = 0; c < num_classes; ++c, cap <<= 1) {
+    if (n <= cap) return c;
+  }
+  return -1;
+}
+
+/// Largest class whose capacity is <= `capacity` (the buffer can serve
+/// any request up to that class), or -1 when below the pooled range.
+int ClassForRelease(size_t capacity, int min_log2, int num_classes) {
+  int cls = -1;
+  size_t cap = static_cast<size_t>(1) << min_log2;
+  for (int c = 0; c < num_classes; ++c, cap <<= 1) {
+    if (capacity >= cap) cls = c;
+  }
+  return cls;
+}
+
+// Pool counters resolve once into statics; after that an acquire costs
+// one relaxed atomic add (see obs::Counter).
+obs::Counter& PoolHits() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.tensor.pool.hits");
+  return counter;
+}
+obs::Counter& PoolMisses() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.tensor.pool.misses");
+  return counter;
+}
+obs::Counter& PoolBytesReused() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.tensor.pool.bytes_reused");
+  return counter;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::ThreadLocal() {
+  thread_local BufferPool pool;
+  return pool;
+}
+
+void BufferPool::ReleaseToCurrentThread(std::vector<float>&& buf) {
+  if (buf.capacity() == 0) return;
+  if (BufferPool* pool = tls_pool) {
+    pool->Release(std::move(buf));
+  }
+  // Otherwise the vector frees on scope exit: the thread's pool is gone
+  // (or never existed), which only happens during teardown.
+}
+
+BufferPool::BufferPool() { tls_pool = this; }
+
+BufferPool::~BufferPool() { tls_pool = nullptr; }
+
+std::vector<float> BufferPool::Acquire(size_t n) {
+  const int cls = ClassForRequest(n, kMinClassLog2, kNumClasses);
+  if (cls >= 0) {
+    // Exact-class buffers recycle most often, but any larger class
+    // serves the request too (capacity only grows with class index).
+    for (int c = cls; c < kNumClasses; ++c) {
+      auto& bucket = classes_[static_cast<size_t>(c)];
+      if (bucket.empty()) continue;
+      std::vector<float> buf = std::move(bucket.back());
+      bucket.pop_back();
+      retained_bytes_ -= buf.capacity() * sizeof(float);
+      buf.assign(n, 0.0f);  // Reuses capacity; no allocation.
+      stats_.hits++;
+      stats_.bytes_reused += static_cast<int64_t>(n * sizeof(float));
+      PoolHits().Increment();
+      PoolBytesReused().Increment(static_cast<int64_t>(n * sizeof(float)));
+      return buf;
+    }
+  }
+  stats_.misses++;
+  PoolMisses().Increment();
+  std::vector<float> buf;
+  if (cls >= 0) {
+    // Round the allocation up to the class capacity so the buffer can
+    // serve every future request in its class.
+    buf.reserve(static_cast<size_t>(1) << (kMinClassLog2 + cls));
+  }
+  buf.assign(n, 0.0f);
+  return buf;
+}
+
+void BufferPool::Release(std::vector<float>&& buf) {
+  const size_t bytes = buf.capacity() * sizeof(float);
+  const int cls = ClassForRelease(buf.capacity(), kMinClassLog2, kNumClasses);
+  if (cls < 0 || retained_bytes_ + bytes > kMaxRetainedBytes) {
+    return;  // Dropped; the vector frees here.
+  }
+  buf.clear();
+  retained_bytes_ += bytes;
+  classes_[static_cast<size_t>(cls)].push_back(std::move(buf));
+}
+
+void BufferPool::Trim() {
+  for (auto& bucket : classes_) bucket.clear();
+  retained_bytes_ = 0;
+}
+
+std::shared_ptr<Storage> AcquireStorage(size_t n) {
+  return std::make_shared<Storage>(BufferPool::ThreadLocal().Acquire(n));
+}
+
+std::shared_ptr<Storage> AdoptStorage(std::vector<float> buf) {
+  return std::make_shared<Storage>(std::move(buf));
+}
+
+}  // namespace internal_tensor
+}  // namespace hiergat

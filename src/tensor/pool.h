@@ -1,0 +1,99 @@
+#ifndef HIERGAT_TENSOR_POOL_H_
+#define HIERGAT_TENSOR_POOL_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace hiergat {
+namespace internal_tensor {
+
+/// Thread-local recycler for the float buffers behind tensor data and
+/// grad storage. Every forward pass over a graph node used to pay one
+/// heap allocation per tensor; on the NoGradGuard scoring path that is
+/// pure malloc churn, since the buffers die as soon as the next op
+/// consumes them. The pool keeps returned buffers in power-of-two size
+/// classes and hands them back zero-filled, so `Acquire` behaves exactly
+/// like a freshly value-initialized vector.
+///
+/// The pool is strictly per-thread (no locking): buffers released on a
+/// different thread than they were acquired on simply migrate to the
+/// releasing thread's pool. Acquire/release traffic is exported as
+/// `hiergat.tensor.pool.{hits,misses,bytes_reused}` counters via the
+/// global MetricsRegistry (see DESIGN.md §8/§9).
+class BufferPool {
+ public:
+  struct Stats {
+    int64_t hits = 0;          ///< Acquires served from a recycled buffer.
+    int64_t misses = 0;        ///< Acquires that had to heap-allocate.
+    int64_t bytes_reused = 0;  ///< Requested bytes served from recycling.
+  };
+
+  /// The calling thread's pool, created on first use.
+  static BufferPool& ThreadLocal();
+
+  /// Hands `buf` to the calling thread's pool if it still exists, or
+  /// lets the buffer free normally during thread/process teardown.
+  /// Called by Storage's destructor, which may run after the pool's.
+  static void ReleaseToCurrentThread(std::vector<float>&& buf);
+
+  BufferPool();
+  ~BufferPool();
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A zero-filled buffer of exactly `n` floats, recycled when a large
+  /// enough buffer is pooled and heap-allocated otherwise.
+  std::vector<float> Acquire(size_t n);
+
+  /// Returns a buffer to the pool. Buffers that are tiny, oversized, or
+  /// would push the pool past its retention cap are dropped (freed).
+  void Release(std::vector<float>&& buf);
+
+  const Stats& stats() const { return stats_; }
+  size_t retained_bytes() const { return retained_bytes_; }
+
+  /// Frees every retained buffer (tests; memory-pressure hook).
+  void Trim();
+
+ private:
+  // Size classes are powers of two from 16 floats (below that the
+  // vector header dominates) to 16M floats (64 MB; larger buffers are
+  // one-off and not worth hoarding).
+  static constexpr int kMinClassLog2 = 4;
+  static constexpr int kMaxClassLog2 = 24;
+  static constexpr int kNumClasses = kMaxClassLog2 - kMinClassLog2 + 1;
+  // Per-thread retention cap; releases beyond it free instead of pool.
+  static constexpr size_t kMaxRetainedBytes = 32u << 20;
+
+  std::array<std::vector<std::vector<float>>, kNumClasses> classes_;
+  size_t retained_bytes_ = 0;
+  Stats stats_;
+};
+
+/// Pool-backed float buffer. One Storage may back several TensorImpls:
+/// Reshape/Flatten alias their parent's Storage instead of copying, so
+/// the buffer returns to the pool only when the last view dies.
+struct Storage {
+  std::vector<float> buf;
+
+  Storage() = default;
+  explicit Storage(std::vector<float> b) : buf(std::move(b)) {}
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+  ~Storage() { BufferPool::ReleaseToCurrentThread(std::move(buf)); }
+};
+
+/// Shared, zero-filled, pool-backed buffer of `n` floats.
+std::shared_ptr<Storage> AcquireStorage(size_t n);
+
+/// Shared Storage wrapping an existing buffer (adopts it; the buffer
+/// still returns to the pool on destruction).
+std::shared_ptr<Storage> AdoptStorage(std::vector<float> buf);
+
+}  // namespace internal_tensor
+}  // namespace hiergat
+
+#endif  // HIERGAT_TENSOR_POOL_H_

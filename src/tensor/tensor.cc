@@ -26,6 +26,20 @@ std::string ShapeToString(const Shape& shape) {
   return out.str();
 }
 
+namespace internal_tensor {
+
+TensorImpl::~TensorImpl() {
+  BufferPool::ReleaseToCurrentThread(std::move(grad));
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != data().size()) {
+    grad = BufferPool::ThreadLocal().Acquire(data().size());
+  }
+}
+
+}  // namespace internal_tensor
+
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
   return Full(shape, 0.0f, requires_grad);
 }
@@ -33,7 +47,11 @@ Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
   auto impl = std::make_shared<internal_tensor::TensorImpl>();
   impl->shape = shape;
-  impl->data.assign(static_cast<size_t>(NumElements(shape)), value);
+  impl->storage = internal_tensor::AcquireStorage(
+      static_cast<size_t>(NumElements(shape)));
+  if (value != 0.0f) {
+    std::fill(impl->data().begin(), impl->data().end(), value);
+  }
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -44,7 +62,7 @@ Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
       << "shape " << ShapeToString(shape);
   auto impl = std::make_shared<internal_tensor::TensorImpl>();
   impl->shape = shape;
-  impl->data = std::move(values);
+  impl->storage = internal_tensor::AdoptStorage(std::move(values));
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
@@ -70,7 +88,7 @@ Tensor Tensor::Xavier(int fan_in, int fan_out, Rng& rng, bool requires_grad) {
 
 float Tensor::item() const {
   HG_CHECK_EQ(numel(), 1) << "item() requires a scalar tensor";
-  return impl_->data[0];
+  return impl_->data()[0];
 }
 
 void Tensor::Backward() {
@@ -117,7 +135,9 @@ void Tensor::ZeroGrad() {
 Tensor Tensor::Detach() const {
   auto impl = std::make_shared<internal_tensor::TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;
+  impl->storage = internal_tensor::AcquireStorage(impl_->data().size());
+  std::copy(impl_->data().begin(), impl_->data().end(),
+            impl->data().begin());
   impl->requires_grad = false;
   return Tensor(std::move(impl));
 }
@@ -129,7 +149,7 @@ std::string Tensor::DebugString() const {
   const int64_t n = std::min<int64_t>(numel(), 8);
   for (int64_t i = 0; i < n; ++i) {
     if (i) out << ", ";
-    out << impl_->data[static_cast<size_t>(i)];
+    out << impl_->data()[static_cast<size_t>(i)];
   }
   if (numel() > n) out << ", ...";
   out << "]";
@@ -152,12 +172,25 @@ Tensor Tensor::MakeNode(Shape shape, bool requires_grad,
                         std::vector<Tensor> parents) {
   auto impl = std::make_shared<internal_tensor::TensorImpl>();
   impl->shape = std::move(shape);
-  impl->data.assign(static_cast<size_t>(NumElements(impl->shape)), 0.0f);
+  impl->storage = internal_tensor::AcquireStorage(
+      static_cast<size_t>(NumElements(impl->shape)));
   impl->requires_grad = requires_grad && g_grad_mode_enabled;
   if (impl->requires_grad) {
     impl->parents.reserve(parents.size());
     for (const Tensor& p : parents) impl->parents.push_back(p.impl());
   }
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::MakeAlias(Shape shape, bool requires_grad,
+                         const Tensor& parent) {
+  HG_CHECK_EQ(NumElements(shape),
+              static_cast<int64_t>(parent.data().size()));
+  auto impl = std::make_shared<internal_tensor::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->storage = parent.impl()->storage;  // Shared buffer, no copy.
+  impl->requires_grad = requires_grad && g_grad_mode_enabled;
+  if (impl->requires_grad) impl->parents.push_back(parent.impl());
   return Tensor(std::move(impl));
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "tensor/pool.h"
 
 namespace hiergat {
 
@@ -26,10 +27,17 @@ namespace internal_tensor {
 
 /// Reference-counted tensor storage plus its position in the autograd
 /// graph. Users interact with the `Tensor` handle below.
+///
+/// Data lives in a pool-backed Storage (see pool.h) that may be shared
+/// with other impls: Reshape/Flatten alias their parent's buffer. Both
+/// the data buffer and the lazily allocated grad buffer come from the
+/// thread-local BufferPool and return to it on destruction, so graph
+/// nodes churned out by forward passes recycle memory instead of
+/// hitting the heap per node.
 struct TensorImpl {
   Shape shape;
-  std::vector<float> data;
-  std::vector<float> grad;  // Allocated lazily on first backward pass.
+  std::shared_ptr<Storage> storage;  // Never null once constructed.
+  std::vector<float> grad;  // Pool-acquired lazily on first backward.
   bool requires_grad = false;
 
   /// Parents in the computation graph (inputs of the op that produced
@@ -38,9 +46,13 @@ struct TensorImpl {
   std::vector<std::shared_ptr<TensorImpl>> parents;
   std::function<void()> backward_fn;
 
-  void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
-  }
+  ~TensorImpl();  // Returns `grad` to the pool (Storage returns itself).
+
+  std::vector<float>& data() { return storage->buf; }
+  const std::vector<float>& data() const { return storage->buf; }
+
+  /// Sizes (zero-filled) the grad buffer to match data, via the pool.
+  void EnsureGrad();
 };
 
 }  // namespace internal_tensor
@@ -100,24 +112,24 @@ class Tensor {
   const Shape& shape() const { return impl_->shape; }
   int dim(int i) const { return impl_->shape[static_cast<size_t>(i)]; }
   int rank() const { return static_cast<int>(impl_->shape.size()); }
-  int64_t numel() const { return static_cast<int64_t>(impl_->data.size()); }
+  int64_t numel() const { return static_cast<int64_t>(impl_->data().size()); }
   bool requires_grad() const { return impl_->requires_grad; }
 
   /// Mutable/const access to raw storage (row-major).
-  std::vector<float>& data() { return impl_->data; }
-  const std::vector<float>& data() const { return impl_->data; }
+  std::vector<float>& data() { return impl_->data(); }
+  const std::vector<float>& data() const { return impl_->data(); }
   /// Gradient buffer; empty before the first backward pass.
   std::vector<float>& grad() { return impl_->grad; }
   const std::vector<float>& grad() const { return impl_->grad; }
 
   /// Element access for rank-1 / rank-2 tensors.
-  float at(int i) const { return impl_->data[static_cast<size_t>(i)]; }
+  float at(int i) const { return impl_->data()[static_cast<size_t>(i)]; }
   float at(int r, int c) const {
-    return impl_->data[static_cast<size_t>(r) * dim(1) + c];
+    return impl_->data()[static_cast<size_t>(r) * dim(1) + c];
   }
-  void set(int i, float v) { impl_->data[static_cast<size_t>(i)] = v; }
+  void set(int i, float v) { impl_->data()[static_cast<size_t>(i)] = v; }
   void set(int r, int c, float v) {
-    impl_->data[static_cast<size_t>(r) * dim(1) + c] = v;
+    impl_->data()[static_cast<size_t>(r) * dim(1) + c] = v;
   }
 
   /// Scalar value of a 1-element tensor.
@@ -142,6 +154,10 @@ class Tensor {
   // Internal: used by ops.h to build graph nodes.
   static Tensor MakeNode(Shape shape, bool requires_grad,
                          std::vector<Tensor> parents);
+  /// Graph node that *aliases* `parent`'s storage under a new shape
+  /// (Reshape/Flatten): no buffer copy; gradients stay separate.
+  static Tensor MakeAlias(Shape shape, bool requires_grad,
+                          const Tensor& parent);
   std::shared_ptr<internal_tensor::TensorImpl> impl() const { return impl_; }
   void set_backward_fn(std::function<void()> fn) {
     impl_->backward_fn = std::move(fn);

@@ -13,6 +13,7 @@
 #include "er/engine.h"
 #include "er/hiergat.h"
 #include "er/summary_cache.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -201,6 +202,19 @@ TEST_F(EngineParityTest, WarmCacheMatchesColdForward) {
 
   hiergat_->InvalidateInferenceCache();
   EXPECT_EQ(hiergat_->summary_cache().size(), 0u);
+}
+
+TEST_F(EngineParityTest, ScoreBatchEngagesTensorBufferPool) {
+  // The no-grad scoring path must recycle tensor buffers through the
+  // thread-local BufferPool instead of hitting the heap per graph node;
+  // the pool exports its traffic through the global metrics registry.
+  obs::Counter& hits = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.tensor.pool.hits");
+  const int64_t before = hits.Value();
+  const std::vector<float> probs = hiergat_->ScoreBatch(data_->test);
+  ASSERT_EQ(probs.size(), data_->test.size());
+  EXPECT_GT(hits.Value(), before)
+      << "hiergat.tensor.pool.hits must advance during a ScoreBatch run";
 }
 
 TEST_F(EngineParityTest, EvaluateMatchesModelEvaluate) {

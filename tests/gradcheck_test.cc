@@ -38,6 +38,32 @@ TEST(GradCheck, AddBiasBroadcast) {
       {RandomInput({3, 4}, 3), RandomInput({4}, 4)});
 }
 
+TEST(GradCheck, SubAndNeg) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Sub(in[0], Neg(in[1])));
+      },
+      {RandomInput({3, 4}, 101), RandomInput({3, 4}, 102)});
+}
+
+TEST(GradCheck, SubBiasBroadcast) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor d = Sub(in[0], in[1]);
+        return Sum(Mul(d, d));
+      },
+      {RandomInput({3, 4}, 103), RandomInput({4}, 104)});
+}
+
+TEST(GradCheck, AddScalar) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor shifted = AddScalar(in[0], 1.5f);
+        return Sum(Mul(shifted, shifted));
+      },
+      {RandomInput({2, 5}, 105)});
+}
+
 TEST(GradCheck, MulAndScale) {
   ExpectGradOk(
       [](const std::vector<Tensor>& in) {
@@ -73,6 +99,27 @@ TEST(GradCheck, ConcatRowsAndCols) {
        RandomInput({3, 2}, 13)});
 }
 
+TEST(GradCheck, ReshapeAndFlatten) {
+  // Reshape/Flatten alias the parent's storage; gradients must still
+  // flow through the separate grad buffers.
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor r = Reshape(in[0], {2, 6});
+        Tensor f = Flatten(Mul(r, r));
+        return Sum(Mul(f, f));
+      },
+      {RandomInput({3, 4}, 106)});
+}
+
+TEST(GradCheck, RowSelection) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor r = Row(in[0], 1);
+        return Sum(Mul(r, r));
+      },
+      {RandomInput({3, 4}, 107)});
+}
+
 TEST(GradCheck, SliceRowsAndCols) {
   ExpectGradOk(
       [](const std::vector<Tensor>& in) {
@@ -101,6 +148,40 @@ TEST(GradCheck, Softmax) {
         return Sum(Mul(s, w));
       },
       {RandomInput({2, 3}, 16)});
+}
+
+TEST(GradCheck, EmbeddingLookup) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor e = EmbeddingLookup(in[0], {1, 0, 1, 2});
+        return Sum(Mul(e, e));
+      },
+      {RandomInput({3, 3}, 108)});
+}
+
+TEST(GradCheck, Relu) {
+  // Inputs pushed away from the kink at 0, where the derivative is not
+  // defined and finite differences straddle it.
+  Rng rng(109);
+  Tensor x = Tensor::Uniform({3, 3}, rng, 0.2f, 1.5f, true);
+  Tensor y = Tensor::Uniform({3, 3}, rng, -1.5f, -0.2f, true);
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        return Sum(Add(Relu(in[0]), Relu(in[1])));
+      },
+      {x, y});
+}
+
+TEST(GradCheck, Dropout) {
+  // A fresh Rng with a fixed seed per forward call makes the mask
+  // deterministic, so finite differences see the same function.
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Rng rng(7);
+        Tensor d = Dropout(in[0], 0.4f, rng, /*training=*/true);
+        return Sum(Mul(d, d));
+      },
+      {RandomInput({4, 4}, 110)});
 }
 
 TEST(GradCheck, Activations) {
@@ -171,6 +252,74 @@ TEST(GradCheck, AttentionComposite) {
       {RandomInput({3, 4}, 25), RandomInput({3, 4}, 26),
        RandomInput({3, 4}, 27)},
       /*tolerance=*/5e-2f);
+}
+
+TEST(GradCheck, LinearOpWithBias) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor y = LinearOp(in[0], in[1], in[2]);
+        return Sum(Mul(y, y));
+      },
+      {RandomInput({3, 4}, 201), RandomInput({4, 2}, 202),
+       RandomInput({2}, 203)});
+}
+
+TEST(GradCheck, LinearOpNoBias) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor y = LinearOp(in[0], in[1]);
+        return Sum(Mul(y, y));
+      },
+      {RandomInput({2, 5}, 204), RandomInput({5, 3}, 205)});
+}
+
+TEST(GradCheck, AttentionScoresFused) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor attn = AttentionScores(in[0], in[1], 0.5f);
+        Tensor w = Tensor::FromVector({3, 2}, {1, -2, 3, 0.5, 2, -1});
+        return Sum(Mul(attn, w));
+      },
+      {RandomInput({3, 4}, 206), RandomInput({2, 4}, 207)},
+      /*tolerance=*/5e-2f);
+}
+
+TEST(GradCheck, AttentionScoresWithMask) {
+  ExpectGradOk(
+      [](const std::vector<Tensor>& in) {
+        Tensor attn = AttentionScores(in[0], in[1], 0.7f, in[2]);
+        Tensor out = MatMul(attn, in[3]);
+        return Sum(Mul(out, out));
+      },
+      {RandomInput({3, 4}, 208), RandomInput({3, 4}, 209),
+       RandomInput({3, 3}, 210), RandomInput({3, 2}, 211)},
+      /*tolerance=*/5e-2f);
+}
+
+TEST(GradCheck, FusedMatchesUnfusedComposition) {
+  // The fused nodes must compute the same function as the op chains
+  // they replace — values and gradients.
+  Tensor x = RandomInput({3, 4}, 212);
+  Tensor w = RandomInput({4, 2}, 213);
+  Tensor b = RandomInput({2}, 214);
+
+  Tensor fused_loss = Sum(LinearOp(x, w, b));
+  fused_loss.Backward();
+  const std::vector<float> gx = x.grad(), gw = w.grad(), gb = b.grad();
+
+  x.ZeroGrad();
+  w.ZeroGrad();
+  b.ZeroGrad();
+  Tensor unfused_loss = Sum(Add(MatMul(x, w), b));
+  unfused_loss.Backward();
+
+  EXPECT_NEAR(fused_loss.item(), unfused_loss.item(), 1e-5f);
+  for (size_t i = 0; i < gx.size(); ++i)
+    EXPECT_NEAR(gx[i], x.grad()[i], 1e-4f);
+  for (size_t i = 0; i < gw.size(); ++i)
+    EXPECT_NEAR(gw[i], w.grad()[i], 1e-4f);
+  for (size_t i = 0; i < gb.size(); ++i)
+    EXPECT_NEAR(gb[i], b.grad()[i], 1e-4f);
 }
 
 // Parameterized sweep: Sum of elementwise composite over many shapes.
