@@ -60,4 +60,16 @@ class FatalMessage {
     if (!hg_status_.ok()) return hg_status_;  \
   } while (false)
 
+/// Evaluates a StatusOr expression; on success assigns its value to
+/// `lhs` (which may be a declaration), on error returns the Status.
+///   HG_ASSIGN_OR_RETURN(const int64_t n, reader.GetMetaInt("n"));
+#define HG_INTERNAL_CONCAT2(a, b) a##b
+#define HG_INTERNAL_CONCAT(a, b) HG_INTERNAL_CONCAT2(a, b)
+#define HG_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto HG_INTERNAL_CONCAT(hg_statusor_, __LINE__) = (expr);     \
+  if (!HG_INTERNAL_CONCAT(hg_statusor_, __LINE__).ok()) {       \
+    return HG_INTERNAL_CONCAT(hg_statusor_, __LINE__).status(); \
+  }                                                             \
+  lhs = std::move(HG_INTERNAL_CONCAT(hg_statusor_, __LINE__)).value()
+
 #endif  // HIERGAT_CORE_LOGGING_H_

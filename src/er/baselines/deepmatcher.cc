@@ -13,16 +13,16 @@ DeepMatcherModel::DeepMatcherModel(const DeepMatcherConfig& config)
 
 DeepMatcherModel::~DeepMatcherModel() = default;
 
-void DeepMatcherModel::Build(const PairDataset& data) {
+void DeepMatcherModel::Build(const PairDataset& data, uint64_t seed) {
   const EntityPair& proto =
       data.train.empty() ? data.test.front() : data.train.front();
   num_attributes_ = proto.left.num_attributes();
 
   vocab_ = BuildVocabulary({&data.train, &data.valid, &data.test});
-  Rng rng(config_.seed);
+  Rng rng(seed);
   embeddings_ = std::make_unique<Embedding>(vocab_->size(),
                                             config_.embedding_dim, rng, 0.02f);
-  const HashedEmbeddings hashed(config_.embedding_dim, 3, 5, config_.seed);
+  const HashedEmbeddings hashed(config_.embedding_dim, 3, 5, seed);
   for (int id = Vocabulary::kNumSpecial; id < vocab_->size(); ++id) {
     embeddings_->SetRow(id, hashed.WordVector(vocab_->Token(id)));
   }
@@ -37,7 +37,7 @@ void DeepMatcherModel::Build(const PairDataset& data) {
 
 void DeepMatcherModel::Train(const PairDataset& data,
                              const TrainOptions& options) {
-  Build(data);
+  Build(data, options.seed);
   NeuralPairwiseModel::Train(data, options);
 }
 

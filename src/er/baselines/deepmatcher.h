@@ -19,7 +19,6 @@ struct DeepMatcherConfig {
   int hidden_dim = 24;     ///< GRU hidden width per direction.
   int classifier_hidden = 48;
   float dropout = 0.1f;
-  uint64_t seed = 42;
 };
 
 /// DeepMatcher (Mudgal et al. 2018): the RNN state of the art the paper
@@ -56,7 +55,8 @@ class DeepMatcherModel : public NeuralPairwiseModel {
   bool built_ = false;
 
  private:
-  void Build(const PairDataset& data);
+  /// `seed` comes from TrainOptions — the one seed for the whole run.
+  void Build(const PairDataset& data, uint64_t seed);
 };
 
 /// DM+ (HierMatcher-style, Fu et al. 2020): DeepMatcher plus token-level

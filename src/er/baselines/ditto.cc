@@ -10,10 +10,10 @@ DittoModel::DittoModel(const DittoConfig& config) : config_(config) {}
 
 DittoModel::~DittoModel() = default;
 
-void DittoModel::Build(const PairDataset& data) {
-  backbone_ = MakeBackbone(data, config_.lm_size, config_.lm_pretrain_steps,
-                           config_.seed);
-  Rng rng(config_.seed ^ 0x777u);
+void DittoModel::Build(const PairDataset& data, uint64_t seed) {
+  backbone_ =
+      MakeBackbone(data, config_.lm_size, config_.lm_pretrain_steps, seed);
+  Rng rng(seed ^ 0x777u);
   classifier_ = std::make_unique<Linear>(backbone_.lm->dim(), 2, rng);
   if (config_.lm_pretrain_steps > 0) {
     // Warm-start from the pre-trained pair head: the same/different
@@ -29,7 +29,7 @@ void DittoModel::Build(const PairDataset& data) {
 }
 
 void DittoModel::Train(const PairDataset& data, const TrainOptions& options) {
-  Build(data);
+  Build(data, options.seed);
   NeuralPairwiseModel::Train(data, options);
 }
 

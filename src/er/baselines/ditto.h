@@ -17,7 +17,6 @@ struct DittoConfig {
   int max_sequence_length = 128;  ///< The paper caps sequences at 512.
   int lm_pretrain_steps = 150;
   float dropout = 0.1f;
-  uint64_t seed = 42;
 };
 
 /// Ditto (Li et al. 2020), basic version (§6.1 compares against basic
@@ -45,7 +44,8 @@ class DittoModel : public NeuralPairwiseModel {
   std::vector<float> ParameterLrMultipliers() const override;
 
  private:
-  void Build(const PairDataset& data);
+  /// `seed` comes from TrainOptions — the one seed for the whole run.
+  void Build(const PairDataset& data, uint64_t seed);
 
   DittoConfig config_;
   LmBackbone backbone_;

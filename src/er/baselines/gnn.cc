@@ -18,10 +18,10 @@ GraphCollectiveModel::~GraphCollectiveModel() = default;
 void GraphCollectiveModel::Train(const CollectiveDataset& data,
                                  const TrainOptions& options) {
   vocab_ = BuildVocabularyCollective({&data.train, &data.valid, &data.test});
-  Rng rng(config_.seed);
+  Rng rng(options.seed);
   embeddings_ = std::make_unique<Embedding>(vocab_->size(),
                                             config_.embedding_dim, rng, 0.02f);
-  const HashedEmbeddings hashed(config_.embedding_dim, 3, 5, config_.seed);
+  const HashedEmbeddings hashed(config_.embedding_dim, 3, 5, options.seed);
   for (int id = Vocabulary::kNumSpecial; id < vocab_->size(); ++id) {
     embeddings_->SetRow(id, hashed.WordVector(vocab_->Token(id)));
   }

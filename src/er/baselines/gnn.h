@@ -21,7 +21,6 @@ struct GnnConfig {
   int hidden_dim = 32;
   int layers = 2;
   float dropout = 0.1f;
-  uint64_t seed = 42;
 };
 
 /// Base for the collective graph baselines (GCN / GAT / HGAT): token

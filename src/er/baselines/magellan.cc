@@ -6,8 +6,6 @@
 
 namespace hiergat {
 
-MagellanModel::MagellanModel(uint64_t seed) : seed_(seed) {}
-
 void MagellanModel::Train(const PairDataset& data,
                           const TrainOptions& options) {
   HG_CHECK(!data.train.empty());
@@ -23,15 +21,16 @@ void MagellanModel::Train(const PairDataset& data,
     y.push_back(data.train[static_cast<size_t>(i)].label);
   }
 
+  const uint64_t seed = options.seed;
   classifiers_.clear();
-  classifiers_.push_back(std::make_unique<DecisionTree>(8, 2, seed_));
-  classifiers_.push_back(std::make_unique<RandomForest>(15, 8, seed_ + 1));
+  classifiers_.push_back(std::make_unique<DecisionTree>(8, 2, seed));
+  classifiers_.push_back(std::make_unique<RandomForest>(15, 8, seed + 1));
   classifiers_.push_back(std::make_unique<LinearModel>(
-      LinearModel::Loss::kHinge, 0.1f, 60, 1e-4f, seed_ + 2));
+      LinearModel::Loss::kHinge, 0.1f, 60, 1e-4f, seed + 2));
   classifiers_.push_back(std::make_unique<LinearModel>(
-      LinearModel::Loss::kSquared, 0.02f, 60, 1e-4f, seed_ + 3));
+      LinearModel::Loss::kSquared, 0.02f, 60, 1e-4f, seed + 3));
   classifiers_.push_back(std::make_unique<LinearModel>(
-      LinearModel::Loss::kLogistic, 0.1f, 60, 1e-4f, seed_ + 4));
+      LinearModel::Loss::kLogistic, 0.1f, 60, 1e-4f, seed + 4));
 
   // Featurize validation pairs once.
   std::vector<std::vector<float>> vx;

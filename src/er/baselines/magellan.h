@@ -15,9 +15,12 @@ namespace hiergat {
 /// winner.
 class MagellanModel : public PairwiseModel {
  public:
-  explicit MagellanModel(uint64_t seed = 17);
+  MagellanModel() = default;
 
   std::string name() const override { return "Magellan"; }
+
+  /// Classifier randomness (tree feature sampling, SGD shuffling) is
+  /// derived from TrainOptions::seed, like every other matcher.
   void Train(const PairDataset& data, const TrainOptions& options) override;
 
   /// Name of the validation-selected classifier (after Train).
@@ -27,7 +30,6 @@ class MagellanModel : public PairwiseModel {
   float ScorePair(const EntityPair& pair) const override;
 
  private:
-  uint64_t seed_;
   std::vector<std::unique_ptr<ClassicClassifier>> classifiers_;
   ClassicClassifier* selected_ = nullptr;
   std::string selected_name_;

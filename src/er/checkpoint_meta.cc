@@ -1,0 +1,61 @@
+#include "er/checkpoint_meta.h"
+
+#include "core/logging.h"
+
+namespace hiergat {
+
+void WriteContextualMeta(TensorWriter* writer,
+                         const ContextualConfig& config) {
+  writer->SetMetaBool("context.use_token_context", config.use_token_context);
+  writer->SetMetaBool("context.use_attribute_context",
+                      config.use_attribute_context);
+  writer->SetMetaBool("context.use_entity_context",
+                      config.use_entity_context);
+  writer->SetMetaInt("context.max_common_tokens", config.max_common_tokens);
+  writer->SetMetaFloat("context.dropout", config.dropout);
+}
+
+Status ReadContextualMeta(const TensorReader& reader,
+                          ContextualConfig* config) {
+  HG_ASSIGN_OR_RETURN(config->use_token_context,
+                      reader.GetMetaBool("context.use_token_context"));
+  HG_ASSIGN_OR_RETURN(config->use_attribute_context,
+                      reader.GetMetaBool("context.use_attribute_context"));
+  HG_ASSIGN_OR_RETURN(config->use_entity_context,
+                      reader.GetMetaBool("context.use_entity_context"));
+  HG_ASSIGN_OR_RETURN(const int64_t max_common,
+                      reader.GetMetaInt("context.max_common_tokens"));
+  if (max_common < 0) {
+    return Status::InvalidArgument("context.max_common_tokens is negative");
+  }
+  config->max_common_tokens = static_cast<int>(max_common);
+  HG_ASSIGN_OR_RETURN(config->dropout,
+                      reader.GetMetaFloat("context.dropout"));
+  return Status::Ok();
+}
+
+Status ReadLmSizeMeta(const TensorReader& reader, LmSize* size) {
+  HG_ASSIGN_OR_RETURN(const int64_t value, reader.GetMetaInt("lm_size"));
+  if (value < static_cast<int64_t>(LmSize::kSmall) ||
+      value > static_cast<int64_t>(LmSize::kLarge)) {
+    return Status::InvalidArgument("unknown lm_size " +
+                                   std::to_string(value));
+  }
+  *size = static_cast<LmSize>(value);
+  return Status::Ok();
+}
+
+Status ReadViewCombinationMeta(const TensorReader& reader,
+                               ViewCombination* combination) {
+  HG_ASSIGN_OR_RETURN(const int64_t value,
+                      reader.GetMetaInt("combination"));
+  if (value < static_cast<int64_t>(ViewCombination::kViewAverage) ||
+      value > static_cast<int64_t>(ViewCombination::kWeightAverage)) {
+    return Status::InvalidArgument("unknown view combination " +
+                                   std::to_string(value));
+  }
+  *combination = static_cast<ViewCombination>(value);
+  return Status::Ok();
+}
+
+}  // namespace hiergat

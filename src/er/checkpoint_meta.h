@@ -1,0 +1,27 @@
+#ifndef HIERGAT_ER_CHECKPOINT_META_H_
+#define HIERGAT_ER_CHECKPOINT_META_H_
+
+#include "core/serialize.h"
+#include "er/comparison.h"
+#include "er/contextual.h"
+#include "text/mini_lm.h"
+
+namespace hiergat {
+
+/// Checkpoint-metadata encoding shared by the HierGAT model family:
+/// every config field travels as a string key/value next to the weights,
+/// so Load can reconstruct the exact module geometry before reading
+/// tensors. Enum fields are validated on read (a checkpoint written by
+/// a future config version fails loudly instead of mis-casting).
+
+void WriteContextualMeta(TensorWriter* writer, const ContextualConfig& config);
+Status ReadContextualMeta(const TensorReader& reader,
+                          ContextualConfig* config);
+
+Status ReadLmSizeMeta(const TensorReader& reader, LmSize* size);
+Status ReadViewCombinationMeta(const TensorReader& reader,
+                               ViewCombination* combination);
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_CHECKPOINT_META_H_

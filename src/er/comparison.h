@@ -57,6 +57,12 @@ class HierarchicalComparator : public Module {
 
   std::vector<Tensor> Parameters() const override;
 
+  void RegisterParameters(NamedParameters* out) const override {
+    out->AddModule("fuse", *fuse_);
+    out->AddModule("shared_space", *shared_space_);
+    out->AddModule("view_attention", *view_attention_);
+  }
+
   ViewCombination combination() const { return combination_; }
 
  private:
@@ -82,6 +88,12 @@ class EntityAligner : public Module {
                const std::vector<std::vector<int>>& related) const;
 
   std::vector<Tensor> Parameters() const override;
+
+  void RegisterParameters(NamedParameters* out) const override {
+    out->AddModule("pair_proj", *pair_proj_);
+    out->AddModule("scorer", *scorer_);
+    out->AddModule("value_proj", *value_proj_);
+  }
 
  private:
   int entity_dim_;

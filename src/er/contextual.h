@@ -53,6 +53,12 @@ class ContextualEmbedder : public Module {
 
   std::vector<Tensor> Parameters() const override;
 
+  void RegisterParameters(NamedParameters* out) const override {
+    out->AddModule("attr_attention", *attr_attention_);
+    out->AddModule("common_attention", *common_attention_);
+    out->AddModule("redundant_attention", *redundant_attention_);
+  }
+
   const ContextualConfig& config() const { return config_; }
 
  private:

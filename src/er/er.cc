@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cctype>
 
+#include "core/logging.h"
+#include "core/serialize.h"
+
 namespace hiergat {
 
 namespace {
@@ -63,6 +66,40 @@ std::unique_ptr<CollectiveModel> MakeCollectiveMatcher(
   if (key == "gat") return std::make_unique<GatCollectiveModel>();
   if (key == "hgat") return std::make_unique<HgatCollectiveModel>();
   return nullptr;
+}
+
+StatusOr<std::unique_ptr<PairwiseModel>> LoadMatcher(
+    const std::string& path) {
+  // Peek the tag first so we can report "unknown model" instead of a
+  // confusing tag-mismatch error from the wrong Load.
+  auto reader_or = TensorReader::Open(path);
+  HG_RETURN_IF_ERROR(reader_or.status());
+  const std::string tag = reader_or.value().model_tag();
+  std::unique_ptr<PairwiseModel> model;
+  if (tag == "HierGAT") {
+    model = std::make_unique<HierGatModel>();
+  } else {
+    return Status::InvalidArgument(
+        "checkpoint tag '" + tag + "' is not a known pairwise matcher");
+  }
+  HG_RETURN_IF_ERROR(model->Load(path));
+  return StatusOr<std::unique_ptr<PairwiseModel>>(std::move(model));
+}
+
+StatusOr<std::unique_ptr<CollectiveModel>> LoadCollectiveMatcher(
+    const std::string& path) {
+  auto reader_or = TensorReader::Open(path);
+  HG_RETURN_IF_ERROR(reader_or.status());
+  const std::string tag = reader_or.value().model_tag();
+  std::unique_ptr<CollectiveModel> model;
+  if (tag == "HierGAT+") {
+    model = std::make_unique<HierGatPlusModel>();
+  } else {
+    return Status::InvalidArgument(
+        "checkpoint tag '" + tag + "' is not a known collective matcher");
+  }
+  HG_RETURN_IF_ERROR(model->Load(path));
+  return StatusOr<std::unique_ptr<CollectiveModel>>(std::move(model));
 }
 
 }  // namespace hiergat

@@ -46,6 +46,16 @@ std::unique_ptr<PairwiseModel> MakeMatcher(
 std::unique_ptr<CollectiveModel> MakeCollectiveMatcher(
     const std::string& name, const MatcherOptions& options = MatcherOptions());
 
+/// Reconstructs a ready-to-score pairwise matcher from a checkpoint
+/// written by PairwiseModel::Save. The model type is dispatched on the
+/// checkpoint's embedded tag, and the config travels with the weights,
+/// so no MatcherOptions are needed.
+StatusOr<std::unique_ptr<PairwiseModel>> LoadMatcher(const std::string& path);
+
+/// Collective counterpart of LoadMatcher (currently "HierGAT+").
+StatusOr<std::unique_ptr<CollectiveModel>> LoadCollectiveMatcher(
+    const std::string& path);
+
 }  // namespace hiergat
 
 #endif  // HIERGAT_ER_ER_H_

@@ -1,0 +1,157 @@
+#include "er/golden.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "blocking/blocker.h"
+#include "core/serialize.h"
+
+namespace hiergat {
+namespace golden {
+
+SyntheticSpec PairSpec() {
+  SyntheticSpec spec;
+  spec.name = "golden-pair";
+  spec.num_pairs = 140;
+  spec.positive_ratio = 0.25f;
+  spec.num_attributes = 3;
+  spec.hardness = 0.6f;
+  spec.noise = 0.06f;
+  spec.desc_len = 6;
+  spec.seed = 1234;
+  return spec;
+}
+
+SyntheticSpec CollectiveSpec() {
+  SyntheticSpec spec;
+  spec.name = "golden-collective";
+  spec.num_pairs = 120;  // Catalog size driver for GenerateTwoTable.
+  spec.positive_ratio = 0.25f;
+  spec.num_attributes = 2;
+  spec.hardness = 0.6f;
+  spec.noise = 0.06f;
+  spec.desc_len = 5;
+  spec.seed = 4321;
+  return spec;
+}
+
+PairDataset MakePairDataset() { return GeneratePairDataset(PairSpec()); }
+
+CollectiveDataset MakeCollectiveDataset() {
+  const TwoTableDataset raw =
+      GenerateTwoTable(CollectiveSpec(), /*table_a_size=*/48,
+                       /*table_b_size=*/72);
+  CollectiveBuildOptions options;
+  options.top_n = 4;
+  options.seed = 4321;
+  return BuildCollective(raw, options);
+}
+
+HierGatConfig PairModelConfig() {
+  HierGatConfig config;
+  config.lm_size = LmSize::kSmall;
+  config.classifier_hidden = 16;
+  config.lm_pretrain_steps = 30;
+  return config;
+}
+
+HierGatPlusConfig CollectiveModelConfig() {
+  HierGatPlusConfig config;
+  config.lm_size = LmSize::kSmall;
+  config.classifier_hidden = 16;
+  config.lm_pretrain_steps = 30;
+  return config;
+}
+
+TrainOptions TrainingOptions() {
+  TrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 8;
+  options.seed = 77;
+  return options;
+}
+
+std::vector<EntityPair> ProbePairs(const PairDataset& data) {
+  const size_t count = std::min<size_t>(data.test.size(), 24);
+  return std::vector<EntityPair>(data.test.begin(),
+                                 data.test.begin() + count);
+}
+
+std::vector<CollectiveQuery> ProbeQueries(const CollectiveDataset& data) {
+  const size_t count = std::min<size_t>(data.test.size(), 6);
+  return std::vector<CollectiveQuery>(data.test.begin(),
+                                      data.test.begin() + count);
+}
+
+std::vector<float> ScoreQueries(const CollectiveModel& model,
+                                const std::vector<CollectiveQuery>& queries) {
+  std::vector<float> scores;
+  for (const CollectiveQuery& query : queries) {
+    const std::vector<float> predictions = model.PredictQuery(query);
+    scores.insert(scores.end(), predictions.begin(), predictions.end());
+  }
+  return scores;
+}
+
+std::string FormatScores(const std::vector<float>& scores) {
+  std::string out;
+  char buffer[48];
+  for (const float score : scores) {
+    std::snprintf(buffer, sizeof(buffer), "%.9e\n",
+                  static_cast<double>(score));
+    out += buffer;
+  }
+  return out;
+}
+
+StatusOr<std::vector<float>> ParseScores(const std::string& text) {
+  std::vector<float> scores;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    char* end = nullptr;
+    const float value = std::strtof(line.c_str(), &end);
+    if (end == line.c_str()) {
+      return Status::InvalidArgument("bad score line: '" + line + "'");
+    }
+    scores.push_back(value);
+  }
+  if (scores.empty()) {
+    return Status::InvalidArgument("score file holds no scores");
+  }
+  return StatusOr<std::vector<float>>(std::move(scores));
+}
+
+Status WriteScores(const std::string& path,
+                   const std::vector<float>& scores) {
+  return WriteFileAtomic(path, FormatScores(scores));
+}
+
+StatusOr<std::vector<float>> ReadScores(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open score file " + path);
+  }
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return ParseScores(contents.str());
+}
+
+std::unique_ptr<HierGatModel> TrainPairModel() {
+  auto model = std::make_unique<HierGatModel>(PairModelConfig());
+  model->Train(MakePairDataset(), TrainingOptions());
+  return model;
+}
+
+std::unique_ptr<HierGatPlusModel> TrainCollectiveModel() {
+  auto model = std::make_unique<HierGatPlusModel>(CollectiveModelConfig());
+  model->Train(MakeCollectiveDataset(), TrainingOptions());
+  return model;
+}
+
+}  // namespace golden
+}  // namespace hiergat

@@ -37,6 +37,11 @@ class GraphAttentionPool : public Module {
 
   std::vector<Tensor> Parameters() const override;
 
+  void RegisterParameters(NamedParameters* out) const override {
+    if (w_ != nullptr) out->AddModule("w", *w_);
+    out->AddModule("scorer", *scorer_);
+  }
+
  private:
   std::unique_ptr<Linear> w_;       // Optional projection.
   std::unique_ptr<Linear> scorer_;  // The context vector c as a 1-dim map.

@@ -1,14 +1,29 @@
 #include "er/hiergat.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/logging.h"
+#include "er/checkpoint_meta.h"
 #include "graph/hhg.h"
 #include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
+
+namespace {
+
+constexpr char kHierGatTag[] = "HierGAT";
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 HierGatModel::HierGatModel(const HierGatConfig& config) : config_(config) {}
 
@@ -23,6 +38,11 @@ void HierGatModel::Build(const PairDataset& data, uint64_t seed) {
 
   backbone_ = MakeBackbone(data, config_.lm_size, config_.lm_pretrain_steps,
                            seed);
+  BuildModules(seed);
+  built_ = true;
+}
+
+void HierGatModel::BuildModules(uint64_t seed) {
   Rng rng(seed ^ 0x1234u);
   contextual_ = std::make_unique<ContextualEmbedder>(backbone_.lm.get(),
                                                      config_.context, rng);
@@ -33,8 +53,103 @@ void HierGatModel::Build(const PairDataset& data, uint64_t seed) {
   classifier_ = std::make_unique<Mlp>(
       std::vector<int>{backbone_.lm->dim(), config_.classifier_hidden, 2},
       rng);
+  summary_cache_.Clear();
+}
+
+void HierGatModel::RegisterCheckpointParameters(NamedParameters* out) const {
+  out->AddModule("lm", *backbone_.lm);
+  out->AddModule("contextual", *contextual_);
+  out->AddModule("aggregator", *aggregator_);  // No own parameters today.
+  out->AddModule("comparator", *comparator_);
+  out->AddModule("classifier", *classifier_);
+}
+
+Status HierGatModel::Save(const std::string& path) const {
+  return Save(path, DType::kF32);
+}
+
+Status HierGatModel::Save(const std::string& path, DType dtype) const {
+  if (!built_) {
+    return Status::FailedPrecondition(
+        "HierGatModel::Save: train or load a model first");
+  }
+  const auto start = std::chrono::steady_clock::now();
+  TensorWriter writer(kHierGatTag);
+  writer.SetMetaInt("lm_size", static_cast<int64_t>(config_.lm_size));
+  writer.SetMetaInt("combination",
+                    static_cast<int64_t>(config_.combination));
+  writer.SetMetaFloat("dropout", config_.dropout);
+  writer.SetMetaInt("classifier_hidden", config_.classifier_hidden);
+  writer.SetMetaInt("lm_pretrain_steps", config_.lm_pretrain_steps);
+  WriteContextualMeta(&writer, config_.context);
+  writer.SetMetaInt("num_attributes", num_attributes_);
+  writer.SetMeta("vocab", SerializeVocabulary(*backbone_.vocab));
+
+  NamedParameters params;
+  RegisterCheckpointParameters(&params);
+  HG_RETURN_IF_ERROR(writer.AddAll(params, dtype));
+  const std::string bytes = writer.SerializeToString();
+  HG_RETURN_IF_ERROR(WriteFileAtomic(path, bytes));
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.GetGauge("hiergat.ckpt.bytes")
+      .Set(static_cast<double>(bytes.size()));
+  metrics.GetGauge("hiergat.ckpt.save_ms").Set(MillisSince(start));
+  return Status::Ok();
+}
+
+Status HierGatModel::Load(const std::string& path) {
+  const auto start = std::chrono::steady_clock::now();
+  auto reader_or = TensorReader::Open(path);
+  HG_RETURN_IF_ERROR(reader_or.status());
+  const TensorReader& reader = reader_or.value();
+  if (reader.model_tag() != kHierGatTag) {
+    return Status::InvalidArgument("checkpoint holds a '" +
+                                   reader.model_tag() +
+                                   "' model, expected 'HierGAT'");
+  }
+
+  HierGatConfig config;
+  HG_RETURN_IF_ERROR(ReadLmSizeMeta(reader, &config.lm_size));
+  HG_RETURN_IF_ERROR(ReadViewCombinationMeta(reader, &config.combination));
+  HG_ASSIGN_OR_RETURN(config.dropout, reader.GetMetaFloat("dropout"));
+  HG_ASSIGN_OR_RETURN(const int64_t classifier_hidden,
+                      reader.GetMetaInt("classifier_hidden"));
+  HG_ASSIGN_OR_RETURN(const int64_t lm_pretrain_steps,
+                      reader.GetMetaInt("lm_pretrain_steps"));
+  HG_RETURN_IF_ERROR(ReadContextualMeta(reader, &config.context));
+  HG_ASSIGN_OR_RETURN(const int64_t num_attributes,
+                      reader.GetMetaInt("num_attributes"));
+  HG_ASSIGN_OR_RETURN(const std::string vocab_text,
+                      reader.GetMeta("vocab"));
+  if (num_attributes <= 0 || classifier_hidden <= 0) {
+    return Status::InvalidArgument("checkpoint has invalid dimensions");
+  }
+  config.classifier_hidden = static_cast<int>(classifier_hidden);
+  config.lm_pretrain_steps = static_cast<int>(lm_pretrain_steps);
+
+  // Rebuild geometry with a fixed throwaway seed: every initialized
+  // weight is overwritten from the checkpoint below (ReadAll is strict,
+  // so nothing can be left at its random initialization).
+  config_ = config;
+  num_attributes_ = static_cast<int>(num_attributes);
+  built_ = false;
+  backbone_.vocab = DeserializeVocabulary(vocab_text);
+  backbone_.lm = std::make_unique<MiniLm>(config_.lm_size,
+                                          backbone_.vocab.get(), /*seed=*/0);
+  BuildModules(/*seed=*/0);
+
+  NamedParameters params;
+  RegisterCheckpointParameters(&params);
+  HG_RETURN_IF_ERROR(reader.ReadAll(params));
   built_ = true;
   summary_cache_.Clear();
+
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.GetGauge("hiergat.ckpt.bytes")
+      .Set(static_cast<double>(reader.file_bytes()));
+  metrics.GetGauge("hiergat.ckpt.load_ms").Set(MillisSince(start));
+  return Status::Ok();
 }
 
 void HierGatModel::Train(const PairDataset& data,

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "core/serialize.h"
 #include "er/aggregation.h"
 #include "er/comparison.h"
 #include "er/contextual.h"
@@ -62,6 +63,15 @@ class HierGatModel : public NeuralPairwiseModel {
   /// move; the trainer calls this around validation passes).
   void InvalidateInferenceCache() const override;
 
+  /// Checkpointing: Save writes config + vocabulary + trained weights
+  /// to a versioned binary file (format: src/core/serialize.h); Load
+  /// reconstructs the full model from such a file — no dataset and no
+  /// training required. The dtype overload picks the stored precision
+  /// (kF16 halves golden-fixture size; kF32 is lossless).
+  Status Save(const std::string& path) const override;
+  Status Save(const std::string& path, DType dtype) const;
+  Status Load(const std::string& path) override;
+
   /// Toggles the inference-time summary cache (on by default; useful
   /// for benchmarking the uncached path).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
@@ -95,6 +105,14 @@ class HierGatModel : public NeuralPairwiseModel {
   /// Lazily constructs backbone + modules once the schema (K) is known.
   /// `seed` comes from TrainOptions (see HierGatConfig).
   void Build(const PairDataset& data, uint64_t seed);
+
+  /// Constructs the fine-tuning modules over an existing backbone
+  /// (shared by Build and Load; Load overwrites the weights after).
+  void BuildModules(uint64_t seed);
+
+  /// Stable dotted-name registration of every checkpointed tensor; the
+  /// same registration drives Save and Load.
+  void RegisterCheckpointParameters(NamedParameters* out) const;
 
   /// Shared forward: attribute embeddings, entity embeddings, similarity.
   Tensor ForwardSimilarity(const EntityPair& pair, bool training,

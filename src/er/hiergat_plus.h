@@ -52,6 +52,12 @@ class HierGatPlusModel : public NeuralCollectiveModel {
   /// See HierGatModel::InvalidateInferenceCache.
   void InvalidateInferenceCache() const override;
 
+  /// See HierGatModel::Save / Load: full checkpoint round-trip (config
+  /// + vocabulary + weights), including the alignment layer.
+  Status Save(const std::string& path) const override;
+  Status Save(const std::string& path, DType dtype) const;
+  Status Load(const std::string& path) override;
+
   /// Inference-time entity-summary cache (hit/miss/eviction stats; also
   /// aggregated into the `hiergat.cache.*` metrics).
   const SummaryCache& summary_cache() const { return summary_cache_; }
@@ -64,6 +70,10 @@ class HierGatPlusModel : public NeuralCollectiveModel {
 
  private:
   void Build(const CollectiveDataset& data, uint64_t seed);
+
+  /// See HierGatModel::BuildModules / RegisterCheckpointParameters.
+  void BuildModules(uint64_t seed);
+  void RegisterCheckpointParameters(NamedParameters* out) const;
 
   HierGatPlusConfig config_;
   LmBackbone backbone_;

@@ -106,4 +106,25 @@ LmBackbone MakeBackboneCollective(const CollectiveDataset& data, LmSize size,
   return backbone;
 }
 
+std::string SerializeVocabulary(const Vocabulary& vocab) {
+  std::string joined;
+  for (int id = Vocabulary::kNumSpecial; id < vocab.size(); ++id) {
+    if (!joined.empty()) joined += '\n';
+    joined += vocab.Token(id);
+  }
+  return joined;
+}
+
+std::unique_ptr<Vocabulary> DeserializeVocabulary(const std::string& joined) {
+  auto vocab = std::make_unique<Vocabulary>();
+  size_t start = 0;
+  while (start < joined.size()) {
+    size_t end = joined.find('\n', start);
+    if (end == std::string::npos) end = joined.size();
+    if (end > start) vocab->Add(joined.substr(start, end - start));
+    start = end + 1;
+  }
+  return vocab;
+}
+
 }  // namespace hiergat

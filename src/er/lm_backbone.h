@@ -29,6 +29,15 @@ std::unique_ptr<Vocabulary> BuildVocabulary(
 std::unique_ptr<Vocabulary> BuildVocabularyCollective(
     const std::vector<const std::vector<CollectiveQuery>*>& splits);
 
+/// Newline-joined non-special tokens in id order, for embedding in a
+/// checkpoint. Tokens are whitespace-free by construction (they come
+/// out of the tokenizer), so '\n' is a safe separator.
+std::string SerializeVocabulary(const Vocabulary& vocab);
+
+/// Rebuilds a vocabulary from SerializeVocabulary output. Add order
+/// equals id order, so every token gets its original id back.
+std::unique_ptr<Vocabulary> DeserializeVocabulary(const std::string& joined);
+
 /// Token-id sentences (one per attribute value) for masked-LM
 /// pre-training of the backbone.
 std::vector<std::vector<int>> MakeCorpus(

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "data/entity.h"
 #include "er/metrics.h"
 
@@ -72,6 +73,22 @@ class PairwiseModel {
   /// previously scored model; a no-op for models without caches.
   virtual void InvalidateInferenceCache() const {}
 
+  /// Serializes the trained model (config + weights) to a versioned
+  /// binary checkpoint at `path`, and restores it for load-and-serve
+  /// inference without retraining (see src/core/serialize.h and
+  /// LoadMatcher in er/er.h). Models without checkpoint support keep
+  /// these defaults, which report FailedPrecondition.
+  virtual Status Save(const std::string& path) const {
+    (void)path;
+    return Status::FailedPrecondition(name() +
+                                      " does not support checkpointing");
+  }
+  virtual Status Load(const std::string& path) {
+    (void)path;
+    return Status::FailedPrecondition(name() +
+                                      " does not support checkpointing");
+  }
+
  protected:
   /// Single-pair hook used by the default ScoreBatch loop.
   virtual float ScorePair(const EntityPair& pair) const = 0;
@@ -99,6 +116,18 @@ class CollectiveModel {
 
   /// See PairwiseModel::InvalidateInferenceCache.
   virtual void InvalidateInferenceCache() const {}
+
+  /// See PairwiseModel::Save / Load.
+  virtual Status Save(const std::string& path) const {
+    (void)path;
+    return Status::FailedPrecondition(name() +
+                                      " does not support checkpointing");
+  }
+  virtual Status Load(const std::string& path) {
+    (void)path;
+    return Status::FailedPrecondition(name() +
+                                      " does not support checkpointing");
+  }
 };
 
 /// Runs a pairwise matcher on collective data by scoring each

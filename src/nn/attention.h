@@ -2,6 +2,7 @@
 #define HIERGAT_NN_ATTENTION_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/linear.h"
@@ -31,6 +32,16 @@ class MultiHeadSelfAttention : public Module {
   const Tensor& last_attention() const { return last_attention_; }
 
   std::vector<Tensor> Parameters() const override;
+
+  void RegisterParameters(NamedParameters* out) const override {
+    for (size_t h = 0; h < q_proj_.size(); ++h) {
+      const std::string i = std::to_string(h);
+      out->AddModule("q" + i, *q_proj_[h]);
+      out->AddModule("k" + i, *k_proj_[h]);
+      out->AddModule("v" + i, *v_proj_[h]);
+    }
+    out->AddModule("out", *out_proj_);
+  }
 
   int dim() const { return dim_; }
   int num_heads() const { return num_heads_; }

@@ -23,6 +23,10 @@ class Embedding : public Module {
 
   std::vector<Tensor> Parameters() const override { return {table_}; }
 
+  void RegisterParameters(NamedParameters* out) const override {
+    (void)out->Add("table", table_);
+  }
+
   int vocab_size() const { return vocab_size_; }
   int dim() const { return dim_; }
   const Tensor& table() const { return table_; }

@@ -29,6 +29,15 @@ class Gru : public Module {
 
   std::vector<Tensor> Parameters() const override;
 
+  void RegisterParameters(NamedParameters* out) const override {
+    out->AddModule("wz", *wz_);
+    out->AddModule("uz", *uz_);
+    out->AddModule("wr", *wr_);
+    out->AddModule("ur", *ur_);
+    out->AddModule("wn", *wn_);
+    out->AddModule("un", *un_);
+  }
+
   int hidden_dim() const { return hidden_dim_; }
 
  private:
@@ -50,6 +59,11 @@ class BiGru : public Module {
   Tensor Forward(const Tensor& x) const;
 
   std::vector<Tensor> Parameters() const override;
+
+  void RegisterParameters(NamedParameters* out) const override {
+    out->AddModule("fwd", *fwd_);
+    out->AddModule("bwd", *bwd_);
+  }
 
   int output_dim() const { return 2 * fwd_->hidden_dim(); }
 

@@ -23,6 +23,11 @@ class LayerNormLayer : public Module {
 
   std::vector<Tensor> Parameters() const override { return {gamma_, beta_}; }
 
+  void RegisterParameters(NamedParameters* out) const override {
+    (void)out->Add("gamma", gamma_);
+    (void)out->Add("beta", beta_);
+  }
+
   int dim() const { return dim_; }
 
  private:

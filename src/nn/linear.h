@@ -18,6 +18,11 @@ class Linear : public Module {
 
   std::vector<Tensor> Parameters() const override;
 
+  void RegisterParameters(NamedParameters* out) const override {
+    (void)out->Add("weight", weight_);
+    if (bias_.defined()) (void)out->Add("bias", bias_);
+  }
+
   const Tensor& weight() const { return weight_; }
   const Tensor& bias() const { return bias_; }
   int in_features() const { return in_features_; }

@@ -2,6 +2,7 @@
 #define HIERGAT_NN_MLP_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/linear.h"
@@ -19,6 +20,12 @@ class Mlp : public Module {
   Tensor Forward(const Tensor& x) const;
 
   std::vector<Tensor> Parameters() const override;
+
+  void RegisterParameters(NamedParameters* out) const override {
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      out->AddModule("fc" + std::to_string(i), *layers_[i]);
+    }
+  }
 
   int input_dim() const { return dims_.front(); }
   int output_dim() const { return dims_.back(); }
@@ -38,6 +45,11 @@ class Highway : public Module {
   Tensor Forward(const Tensor& x) const;
 
   std::vector<Tensor> Parameters() const override;
+
+  void RegisterParameters(NamedParameters* out) const override {
+    out->AddModule("transform", *transform_);
+    out->AddModule("gate", *gate_);
+  }
 
  private:
   std::unique_ptr<Linear> transform_;

@@ -1,8 +1,10 @@
 #ifndef HIERGAT_NN_MODULE_H_
 #define HIERGAT_NN_MODULE_H_
 
+#include <string>
 #include <vector>
 
+#include "core/serialize.h"
 #include "tensor/tensor.h"
 
 namespace hiergat {
@@ -22,6 +24,20 @@ class Module {
 
   /// All trainable parameters of this module (recursively).
   virtual std::vector<Tensor> Parameters() const = 0;
+
+  /// Registers this module's parameters in `out` under stable dotted
+  /// names ("encoder.layer0.attn.q0.weight", ...) for checkpointing.
+  /// Composite modules override this with AddModule per submodule; the
+  /// default falls back to positional names p0, p1, ... over
+  /// Parameters(). The registered set must stay consistent with
+  /// Parameters() — every trainable tensor needs a name, or it will be
+  /// silently left at its initialization value after a checkpoint load.
+  virtual void RegisterParameters(NamedParameters* out) const {
+    const std::vector<Tensor> params = Parameters();
+    for (size_t i = 0; i < params.size(); ++i) {
+      (void)out->Add("p" + std::to_string(i), params[i]);
+    }
+  }
 
   /// Total number of trainable scalars.
   int64_t ParameterCount() const {

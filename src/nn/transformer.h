@@ -2,6 +2,7 @@
 #define HIERGAT_NN_TRANSFORMER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/attention.h"
@@ -36,6 +37,14 @@ class TransformerEncoderLayer : public Module {
 
   std::vector<Tensor> Parameters() const override;
 
+  void RegisterParameters(NamedParameters* out) const override {
+    out->AddModule("attn", *attn_);
+    out->AddModule("ffn1", *ffn1_);
+    out->AddModule("ffn2", *ffn2_);
+    out->AddModule("norm1", *norm1_);
+    out->AddModule("norm2", *norm2_);
+  }
+
  private:
   TransformerConfig config_;
   std::unique_ptr<MultiHeadSelfAttention> attn_;
@@ -61,6 +70,13 @@ class TransformerEncoder : public Module {
   }
 
   std::vector<Tensor> Parameters() const override;
+
+  void RegisterParameters(NamedParameters* out) const override {
+    for (size_t i = 0; i < layers_.size(); ++i) {
+      out->AddModule("layer" + std::to_string(i), *layers_[i]);
+    }
+    out->AddModule("final_norm", *final_norm_);
+  }
 
   const TransformerConfig& config() const { return config_; }
 

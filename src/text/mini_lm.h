@@ -103,6 +103,15 @@ class MiniLm : public Module {
 
   std::vector<Tensor> Parameters() const override;
 
+  /// Mirrors Parameters(): the pre-training heads (mlm_head, pair_head)
+  /// are deliberately NOT checkpointed — inference never touches them,
+  /// and leaving them out keeps golden fixtures small.
+  void RegisterParameters(NamedParameters* out) const override {
+    out->AddModule("token_table", *token_table_);
+    out->AddModule("segment_table", *segment_table_);
+    out->AddModule("encoder", *encoder_);
+  }
+
   int dim() const { return config_.dim; }
   LmSize size() const { return size_; }
   const Vocabulary& vocab() const { return *vocab_; }

@@ -1,0 +1,186 @@
+// Golden-regression tests: load the checked-in fixtures from
+// tests/fixtures/ (trained once by tools/make_golden) and assert that
+// today's code reproduces yesterday's scores — no training happens
+// here. Regenerate fixtures with `build/tools/make_golden` after an
+// intentional model change.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialize.h"
+#include "er/er.h"
+#include "er/golden.h"
+#include "obs/metrics.h"
+
+namespace hiergat {
+namespace {
+
+std::string FixturePath(const char* name) {
+  return std::string(HIERGAT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+void ExpectScoresNear(const std::vector<float>& actual,
+                      const std::vector<float>& golden, float tolerance) {
+  ASSERT_EQ(actual.size(), golden.size());
+  for (size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], golden[i], tolerance) << "score " << i;
+  }
+}
+
+TEST(GoldenTest, HierGatFixtureReproducesScores) {
+  auto model_or = LoadMatcher(FixturePath(golden::kHierGatCheckpoint));
+  ASSERT_TRUE(model_or.ok()) << model_or.status().ToString();
+  const std::unique_ptr<PairwiseModel>& model = model_or.value();
+  EXPECT_EQ(model->name(), "HierGAT");
+
+  const PairDataset data = golden::MakePairDataset();
+  const std::vector<EntityPair> probes = golden::ProbePairs(data);
+  const std::vector<float> scores = model->ScoreBatch(probes);
+
+  auto golden_or =
+      golden::ReadScores(FixturePath(golden::kHierGatScores));
+  ASSERT_TRUE(golden_or.ok()) << golden_or.status().ToString();
+  ExpectScoresNear(scores, golden_or.value(), 1e-5f);
+}
+
+TEST(GoldenTest, HierGatPlusFixtureReproducesScores) {
+  auto model_or =
+      LoadCollectiveMatcher(FixturePath(golden::kHierGatPlusCheckpoint));
+  ASSERT_TRUE(model_or.ok()) << model_or.status().ToString();
+  const std::unique_ptr<CollectiveModel>& model = model_or.value();
+  EXPECT_EQ(model->name(), "HierGAT+");
+
+  const CollectiveDataset data = golden::MakeCollectiveDataset();
+  const std::vector<CollectiveQuery> probes = golden::ProbeQueries(data);
+  const std::vector<float> scores = golden::ScoreQueries(*model, probes);
+
+  auto golden_or =
+      golden::ReadScores(FixturePath(golden::kHierGatPlusScores));
+  ASSERT_TRUE(golden_or.ok()) << golden_or.status().ToString();
+  ExpectScoresNear(scores, golden_or.value(), 1e-5f);
+}
+
+TEST(GoldenTest, HierGatSaveLoadSaveIsByteStable) {
+  HierGatModel first;
+  ASSERT_TRUE(
+      first.Load(FixturePath(golden::kHierGatCheckpoint)).ok());
+  const std::string path_a = TempPath("hiergat_roundtrip_a.ckpt");
+  const std::string path_b = TempPath("hiergat_roundtrip_b.ckpt");
+  ASSERT_TRUE(first.Save(path_a, DType::kF32).ok());
+
+  HierGatModel second;
+  ASSERT_TRUE(second.Load(path_a).ok());
+  ASSERT_TRUE(second.Save(path_b, DType::kF32).ok());
+  EXPECT_EQ(ReadFileBytes(path_a), ReadFileBytes(path_b));
+
+  // And the reloaded model still scores identically.
+  const PairDataset data = golden::MakePairDataset();
+  const std::vector<EntityPair> probes = golden::ProbePairs(data);
+  EXPECT_EQ(first.ScoreBatch(probes), second.ScoreBatch(probes));
+}
+
+TEST(GoldenTest, HierGatPlusSaveLoadSaveIsByteStable) {
+  HierGatPlusModel first;
+  ASSERT_TRUE(
+      first.Load(FixturePath(golden::kHierGatPlusCheckpoint)).ok());
+  const std::string path_a = TempPath("hiergat_plus_roundtrip_a.ckpt");
+  const std::string path_b = TempPath("hiergat_plus_roundtrip_b.ckpt");
+  ASSERT_TRUE(first.Save(path_a, DType::kF32).ok());
+
+  HierGatPlusModel second;
+  ASSERT_TRUE(second.Load(path_a).ok());
+  ASSERT_TRUE(second.Save(path_b, DType::kF32).ok());
+  EXPECT_EQ(ReadFileBytes(path_a), ReadFileBytes(path_b));
+}
+
+TEST(GoldenTest, F16ResaveReproducesTheFixtureBitwise) {
+  // f16 -> f32 -> f16 is exact, so loading the f16 fixture and saving
+  // it back in f16 must reproduce the file byte for byte.
+  HierGatModel model;
+  ASSERT_TRUE(model.Load(FixturePath(golden::kHierGatCheckpoint)).ok());
+  const std::string resaved = TempPath("hiergat_resaved_f16.ckpt");
+  ASSERT_TRUE(model.Save(resaved, DType::kF16).ok());
+  EXPECT_EQ(ReadFileBytes(resaved),
+            ReadFileBytes(FixturePath(golden::kHierGatCheckpoint)));
+}
+
+TEST(GoldenTest, CheckpointTagDispatchRejectsWrongFamily) {
+  auto pairwise_or =
+      LoadMatcher(FixturePath(golden::kHierGatPlusCheckpoint));
+  ASSERT_FALSE(pairwise_or.ok());
+  EXPECT_NE(pairwise_or.status().message().find("HierGAT+"),
+            std::string::npos);
+
+  auto collective_or =
+      LoadCollectiveMatcher(FixturePath(golden::kHierGatCheckpoint));
+  ASSERT_FALSE(collective_or.ok());
+}
+
+TEST(GoldenTest, CheckpointMetricsAreEmitted) {
+  HierGatModel model;
+  ASSERT_TRUE(model.Load(FixturePath(golden::kHierGatCheckpoint)).ok());
+  auto& metrics = obs::MetricsRegistry::Global();
+  EXPECT_GT(metrics.GetGauge("hiergat.ckpt.bytes").Value(), 0.0);
+  EXPECT_GE(metrics.GetGauge("hiergat.ckpt.load_ms").Value(), 0.0);
+}
+
+// Two independently loaded copies of the same checkpoint, each scored
+// by its own 4-worker engine, must agree exactly — and the summary
+// cache must actually serve hits. This test carries the `golden` label
+// and runs under the tsan preset too.
+TEST(GoldenTest, TwoEnginesFourThreadsAgreeAndHitTheCache) {
+  auto model_a_or = LoadMatcher(FixturePath(golden::kHierGatCheckpoint));
+  auto model_b_or = LoadMatcher(FixturePath(golden::kHierGatCheckpoint));
+  ASSERT_TRUE(model_a_or.ok());
+  ASSERT_TRUE(model_b_or.ok());
+  auto* model_a =
+      dynamic_cast<HierGatModel*>(model_a_or.value().get());
+  auto* model_b =
+      dynamic_cast<HierGatModel*>(model_b_or.value().get());
+  ASSERT_NE(model_a, nullptr);
+  ASSERT_NE(model_b, nullptr);
+
+  const PairDataset data = golden::MakePairDataset();
+  std::vector<EntityPair> pairs = data.test;
+
+  EngineOptions options;
+  options.num_threads = 4;
+  InferenceEngine engine_a(options);
+  InferenceEngine engine_b(options);
+
+  std::vector<float> scores_a;
+  std::vector<float> scores_b;
+  std::thread thread_a(
+      [&] { scores_a = engine_a.Score(*model_a, pairs); });
+  std::thread thread_b(
+      [&] { scores_b = engine_b.Score(*model_b, pairs); });
+  thread_a.join();
+  thread_b.join();
+  EXPECT_EQ(scores_a, scores_b);
+
+  // A second pass over the same pairs is served from the caches.
+  const std::vector<float> again = engine_a.Score(*model_a, pairs);
+  EXPECT_EQ(again, scores_a);
+  EXPECT_GT(model_a->summary_cache().stats().hits, 0);
+  EXPECT_GT(model_a->summary_cache().stats().HitRate(), 0.0);
+}
+
+}  // namespace
+}  // namespace hiergat

@@ -114,6 +114,21 @@ TEST(HierGatPlusTest, PredictQueryShapeMatchesCandidates) {
   }
 }
 
+// Same contract as the pairwise matchers: TrainOptions::seed fully
+// determines a run, including the graph baselines' embedding tables.
+TEST(GnnTest, TrainingIsDeterministicPerSeed) {
+  CollectiveDataset data = SmallCollective(504);
+  TrainOptions options = FastOptions();
+  options.epochs = 1;
+  options.max_train_items = 8;
+  auto run = [&]() {
+    HgatCollectiveModel model;
+    model.Train(data, options);
+    return model.PredictQuery(data.test.front());
+  };
+  EXPECT_EQ(run(), run());
+}
+
 TEST(HierGatPlusTest, AblationsTrain) {
   CollectiveDataset data = SmallCollective(503);
   TrainOptions options = FastOptions();

@@ -1,0 +1,181 @@
+// Regenerates (or verifies) the golden-regression fixtures under
+// tests/fixtures/: a small trained checkpoint plus the scores it
+// produces on held-out probe pairs, for HierGAT and HierGAT+.
+//
+// Usage:
+//   make_golden                   # rewrite fixtures in the source tree
+//   make_golden --out_dir=DIR     # write fixtures somewhere else
+//   make_golden --verify          # retrain into a temp dir and require
+//                                 # byte-identity with the checked-in
+//                                 # fixtures (run by the ci preset)
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "er/er.h"
+#include "er/golden.h"
+
+namespace fs = std::filesystem;
+
+namespace hiergat {
+namespace {
+
+// Keep each fixture comfortably inside the repository budget.
+constexpr uintmax_t kMaxFixtureBytes = 100 * 1024;
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  *out = contents.str();
+  return true;
+}
+
+bool CheckSize(const std::string& path) {
+  const uintmax_t size = fs::file_size(path);
+  std::printf("  %s: %ju bytes\n", path.c_str(), size);
+  if (size > kMaxFixtureBytes) {
+    std::fprintf(stderr, "error: %s exceeds the %ju-byte fixture budget\n",
+                 path.c_str(), kMaxFixtureBytes);
+    return false;
+  }
+  return true;
+}
+
+int Generate(const std::string& out_dir) {
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+
+  std::printf("training golden HierGAT model...\n");
+  {
+    const auto model = golden::TrainPairModel();
+    const std::string ckpt =
+        out_dir + "/" + golden::kHierGatCheckpoint;
+    Status status = model->Save(ckpt, DType::kF16);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    // Score the model *reloaded from the f16 checkpoint*, so the golden
+    // scores are exactly what a fixture-loading test reproduces.
+    HierGatModel reloaded;
+    status = reloaded.Load(ckpt);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const PairDataset data = golden::MakePairDataset();
+    const std::vector<EntityPair> probes = golden::ProbePairs(data);
+    const std::vector<float> scores = reloaded.ScoreBatch(probes);
+    status = golden::WriteScores(out_dir + "/" + golden::kHierGatScores,
+                                 scores);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (!CheckSize(ckpt)) return 1;
+  }
+
+  std::printf("training golden HierGAT+ model...\n");
+  {
+    const auto model = golden::TrainCollectiveModel();
+    const std::string ckpt =
+        out_dir + "/" + golden::kHierGatPlusCheckpoint;
+    Status status = model->Save(ckpt, DType::kF16);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    HierGatPlusModel reloaded;
+    status = reloaded.Load(ckpt);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const CollectiveDataset data = golden::MakeCollectiveDataset();
+    const std::vector<CollectiveQuery> probes = golden::ProbeQueries(data);
+    const std::vector<float> scores =
+        golden::ScoreQueries(reloaded, probes);
+    status = golden::WriteScores(
+        out_dir + "/" + golden::kHierGatPlusScores, scores);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (!CheckSize(ckpt)) return 1;
+  }
+
+  std::printf("fixtures written to %s\n", out_dir.c_str());
+  return 0;
+}
+
+int Verify(const std::string& fixture_dir) {
+  const fs::path tmp_dir =
+      fs::temp_directory_path() / "hiergat_golden_verify";
+  std::error_code ec;
+  fs::remove_all(tmp_dir, ec);
+  const int rc = Generate(tmp_dir.string());
+  if (rc != 0) return rc;
+
+  int failures = 0;
+  for (const char* name :
+       {golden::kHierGatCheckpoint, golden::kHierGatScores,
+        golden::kHierGatPlusCheckpoint, golden::kHierGatPlusScores}) {
+    std::string checked_in;
+    std::string regenerated;
+    if (!ReadFileBytes(fixture_dir + "/" + name, &checked_in)) {
+      std::fprintf(stderr, "verify: missing fixture %s/%s\n",
+                   fixture_dir.c_str(), name);
+      ++failures;
+      continue;
+    }
+    if (!ReadFileBytes((tmp_dir / name).string(), &regenerated)) {
+      std::fprintf(stderr, "verify: regeneration did not produce %s\n",
+                   name);
+      ++failures;
+      continue;
+    }
+    if (checked_in != regenerated) {
+      std::fprintf(stderr,
+                   "verify: %s differs from the checked-in fixture "
+                   "(%zu vs %zu bytes) — training is nondeterministic or "
+                   "the model changed; rerun make_golden and commit\n",
+                   name, regenerated.size(), checked_in.size());
+      ++failures;
+      continue;
+    }
+    std::printf("verify: %s matches (%zu bytes)\n", name,
+                checked_in.size());
+  }
+  fs::remove_all(tmp_dir, ec);
+  if (failures > 0) return 1;
+  std::printf("verify: all fixtures reproduce bitwise\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace hiergat
+
+int main(int argc, char** argv) {
+  std::string out_dir = HIERGAT_FIXTURE_DIR;
+  bool verify = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verify") {
+      verify = true;
+    } else if (arg.rfind("--out_dir=", 0) == 0) {
+      out_dir = arg.substr(std::strlen("--out_dir="));
+    } else {
+      std::fprintf(stderr, "usage: %s [--out_dir=DIR] [--verify]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  return verify ? hiergat::Verify(out_dir) : hiergat::Generate(out_dir);
+}
