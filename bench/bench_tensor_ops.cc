@@ -8,11 +8,13 @@
 #include <chrono>
 #include <functional>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/rng.h"
+#include "tensor/graph.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
@@ -185,6 +187,169 @@ int main_impl(int argc, char** argv) {
     table.AddSeparator();
   }
 
+  // -- Compiled graph replay vs eager (DESIGN.md §11) -----------------
+  // The same NoGrad op chains the scoring path runs, captured once via
+  // GraphCapture and replayed through the planned arena, against eager
+  // re-execution with its per-op Tensor/pool/dispatch traffic. Two
+  // chains: a [24,d] encoder block (compute-leaning) and a [1,d]
+  // compare/classify row chain (overhead-bound — where the planner's
+  // win is largest).
+  bench::Table graph_table(
+      "Compiled graph replay vs eager (single thread)",
+      {"chain", "shape", "eager us", "replay us", "speedup"});
+  {
+    NoGradGuard guard;
+    const int d = 64;
+
+    // Encoder block at [24,64]: attention + residual + feed-forward,
+    // with a constant position table the capture folds away and a CLS
+    // readout the planner elides to a view.
+    Tensor w1 = Tensor::Randn({d, d}, rng);
+    Tensor b1 = Tensor::Randn({d}, rng);
+    Tensor w2 = Tensor::Randn({d, d}, rng);
+    Tensor b2 = Tensor::Randn({d}, rng);
+    Tensor gamma = Tensor::Full({d}, 1.0f);
+    Tensor beta = Tensor::Zeros({d});
+    Tensor pos = Tensor::Randn({kRows, d}, rng);
+    auto encoder = [&](const Tensor& in) {
+      Tensor x0 = Add(in, Scale(pos, 0.125f));
+      Tensor h = LinearOp(x0, w1, b1);
+      Tensor attn = Softmax(AttentionScores(h, h, 0.125f));
+      Tensor mixed = LayerNorm(Add(MatMul(attn, h), x0), gamma, beta);
+      Tensor ff = Relu(LinearOp(mixed, w2, b2));
+      Tensor out = LayerNorm(Add(ff, mixed), gamma, beta);
+      return SliceRows(out, 0, 1);
+    };
+
+    // Compare/classify row chain at [1,64]: elementwise features over a
+    // summary pair, concat, two-layer classifier head, softmax.
+    Tensor wc1 = Tensor::Randn({4 * d, d}, rng);
+    Tensor bc1 = Tensor::Randn({d}, rng);
+    Tensor wc2 = Tensor::Randn({d, 2}, rng);
+    Tensor bc2 = Tensor::Randn({2}, rng);
+    auto compare = [&](const Tensor& left, const Tensor& right) {
+      Tensor features =
+          ConcatCols({left, right, Mul(left, right), Sub(left, right)});
+      Tensor hidden = Relu(LinearOp(features, wc1, bc1));
+      return Softmax(LinearOp(hidden, wc2, bc2));
+    };
+
+    struct GraphCase {
+      const char* name;
+      std::string shape;
+      std::vector<Tensor> live_inputs;
+      std::unique_ptr<graph::CompiledGraph> compiled;
+      std::function<Tensor()> eager;
+    };
+    std::vector<GraphCase> graph_cases;
+
+    {
+      GraphCase gcase;
+      gcase.name = "encoder block";
+      gcase.shape = "[24," + std::to_string(d) + "]";
+      gcase.live_inputs = {Tensor::Randn({kRows, d}, rng)};
+      graph::GraphCapture capture;
+      Tensor traced = Tensor::Zeros({kRows, d});
+      capture.MarkInput(traced);
+      Tensor out = encoder(traced);
+      capture.MarkOutput(out);
+      auto compiled_or = capture.Finish();
+      if (!compiled_or.ok()) {
+        std::fprintf(stderr, "encoder capture failed: %s\n",
+                     compiled_or.status().ToString().c_str());
+        return 1;
+      }
+      gcase.compiled = std::move(compiled_or).value();
+      gcase.eager = [&, inputs = gcase.live_inputs] {
+        return encoder(inputs[0]);
+      };
+      graph_cases.push_back(std::move(gcase));
+    }
+    {
+      GraphCase gcase;
+      gcase.name = "compare+classify";
+      gcase.shape = "[1," + std::to_string(d) + "]x2";
+      gcase.live_inputs = {Tensor::Randn({1, d}, rng),
+                           Tensor::Randn({1, d}, rng)};
+      graph::GraphCapture capture;
+      Tensor left = Tensor::Zeros({1, d});
+      Tensor right = Tensor::Zeros({1, d});
+      capture.MarkInput(left);
+      capture.MarkInput(right);
+      Tensor out = compare(left, right);
+      capture.MarkOutput(out);
+      auto compiled_or = capture.Finish();
+      if (!compiled_or.ok()) {
+        std::fprintf(stderr, "compare capture failed: %s\n",
+                     compiled_or.status().ToString().c_str());
+        return 1;
+      }
+      gcase.compiled = std::move(compiled_or).value();
+      gcase.eager = [&, inputs = gcase.live_inputs] {
+        return compare(inputs[0], inputs[1]);
+      };
+      graph_cases.push_back(std::move(gcase));
+    }
+
+    for (GraphCase& gcase : graph_cases) {
+      std::vector<const float*> in_ptrs;
+      for (const Tensor& t : gcase.live_inputs) {
+        in_ptrs.push_back(t.data().data());
+      }
+      std::vector<float> out_buf(
+          static_cast<size_t>(gcase.compiled->output_size(0)));
+      float* out_ptr = out_buf.data();
+
+      // Correctness guard: replay must be bit-identical to eager.
+      const Tensor reference = gcase.eager();
+      gcase.compiled->Run(in_ptrs.data(), &out_ptr, nullptr);
+      for (size_t i = 0; i < out_buf.size(); ++i) {
+        if (out_buf[i] != reference.data()[i]) {
+          std::fprintf(stderr, "%s: replay diverges from eager at %zu\n",
+                       gcase.name, i);
+          return 1;
+        }
+      }
+
+      const std::vector<double> eager_times = TimeReps(reps, [&] {
+        for (int i = 0; i < inner; ++i) {
+          Tensor out = gcase.eager();
+          (void)out;
+        }
+      });
+      const std::vector<double> replay_times = TimeReps(reps, [&] {
+        for (int i = 0; i < inner; ++i) {
+          gcase.compiled->Run(in_ptrs.data(), &out_ptr, nullptr);
+        }
+      });
+      const double eager_p50 = bench::PercentileOf(eager_times, 0.5) / inner;
+      const double replay_p50 = bench::PercentileOf(replay_times, 0.5) / inner;
+      all_latencies.push_back(replay_p50);
+      graph_table.AddRow({gcase.name, gcase.shape,
+                          bench::Fmt(eager_p50 * 1e6),
+                          bench::Fmt(replay_p50 * 1e6),
+                          bench::Fmt(eager_p50 / replay_p50, 2) + "x"});
+
+      const graph::PlanStats& stats = gcase.compiled->stats();
+      std::string key = gcase.name[0] == 'e' ? "graph.encoder" : "graph.compare";
+      result.AddMetric(key + ".eager_us", eager_p50 * 1e6);
+      result.AddMetric(key + ".replay_us", replay_p50 * 1e6);
+      result.AddMetric(key + ".speedup_vs_eager", eager_p50 / replay_p50);
+      result.AddMetric(key + ".plan_bytes",
+                       static_cast<double>(stats.plan_bytes));
+      result.AddMetric(key + ".eager_bytes",
+                       static_cast<double>(stats.eager_bytes));
+      result.AddMetric(key + ".arena_reuse",
+                       1.0 - static_cast<double>(stats.plan_bytes) /
+                                 static_cast<double>(stats.eager_bytes));
+      result.AddMetric(key + ".folded_nodes",
+                       static_cast<double>(stats.num_folded));
+      result.AddMetric(key + ".view_values",
+                       static_cast<double>(stats.num_views));
+      result.AddMetric(key + ".nodes", static_cast<double>(stats.num_nodes));
+    }
+  }
+
   // Pool engagement during the loop above (thread-local stats).
   const auto& pool_stats =
       internal_tensor::BufferPool::ThreadLocal().stats();
@@ -194,6 +359,7 @@ int main_impl(int argc, char** argv) {
                    static_cast<double>(pool_stats.bytes_reused));
 
   table.Print();
+  graph_table.Print();
   std::printf(
       "\ngemm [128,128]x[128,128]: kernel %.1f us vs seed %.1f us "
       "(%.2fx)\npool: %lld hits / %lld misses\n",

@@ -4,8 +4,9 @@
 //   $ ./examples/quickstart
 //
 // Walks the full public API through the er.h umbrella header: generate
-// (or load) a dataset, build a matcher with MakeMatcher, train it,
-// batch-score candidates with the InferenceEngine, and evaluate F1.
+// (or load) a dataset, open an er::Session (model + inference engine +
+// compiled scoring graphs behind one options struct), train it,
+// batch-score candidates, and evaluate F1.
 
 #include <cstdio>
 
@@ -29,29 +30,43 @@ int main() {
   std::printf("dataset: %d pairs (%d positive), schema of %d attributes\n",
               data.TotalSize(), data.PositiveCount(), data.NumAttributes());
 
-  // 2. Model: pairwise HierGAT with the small MiniLM backbone, built by
-  //    name through the factory. The backbone is pre-trained on the
-  //    dataset's unlabeled text, then the whole stack fine-tunes
-  //    end-to-end. TrainOptions::seed drives both stages.
-  MatcherOptions matcher_options;
-  matcher_options.lm_size = LmSize::kSmall;
-  matcher_options.lm_pretrain_steps = 1500;
-  const std::unique_ptr<PairwiseModel> model =
-      MakeMatcher("hiergat", matcher_options);
+  // 2. Session: pairwise HierGAT with the small MiniLM backbone plus a
+  //    4-worker inference engine, in one call. The backbone is
+  //    pre-trained on the dataset's unlabeled text, then the whole
+  //    stack fine-tunes end-to-end; TrainOptions::seed drives both
+  //    stages. Set options.checkpoint_path to resume a saved model
+  //    instead of training.
+  SessionOptions session_options;
+  session_options.matcher = "hiergat";
+  session_options.lm_size = LmSize::kSmall;
+  session_options.lm_pretrain_steps = 1500;
+  session_options.engine.num_threads = 4;
+  auto session_or = Session::Open(session_options);
+  if (!session_or.ok()) {
+    std::fprintf(stderr, "Session::Open failed: %s\n",
+                 session_or.status().ToString().c_str());
+    return 1;
+  }
+  const std::unique_ptr<Session> session = std::move(session_or).value();
 
   TrainOptions options;
   options.epochs = 8;
   options.verbose = true;
-  model->Train(data, options);
+  if (const Status status = session->Train(data, options); !status.ok()) {
+    std::fprintf(stderr, "train failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
 
   // 3. Evaluate on the held-out test pairs.
-  const EvalResult result = model->Evaluate(data.test);
+  const EvalResult result = session->Evaluate(data.test);
   std::printf("\ntest metrics: %s\n", result.ToString().c_str());
 
-  // 4. Batch-score the test pairs through the inference engine — the
-  //    production path for blocker output (thread pool + summary cache).
-  InferenceEngine engine(EngineOptions{.num_threads = 4});
-  const std::vector<float> probabilities = engine.Score(*model, data.test);
+  // 4. Batch-score the test pairs — the production path for blocker
+  //    output. The session routes through its engine (work-stealing
+  //    pool + summary cache) and the compiled scoring graphs
+  //    (DESIGN.md §11); repeated same-shape batches replay planned
+  //    arena graphs instead of re-running eager ops.
+  const std::vector<float> probabilities = session->Score(data.test);
 
   const EntityPair& pair = data.test.front();
   std::printf("\nentity A: %s\nentity B: %s\n",
@@ -60,8 +75,9 @@ int main() {
               pair.label);
 
   // 5. Observability: every stage above recorded metrics (cache hit
-  //    rate, per-worker steals, batch latency, training telemetry).
-  //    Export them Prometheus-style; see DESIGN.md §8.
+  //    rate, compiled-graph replays, per-worker steals, batch latency,
+  //    training telemetry). Export them Prometheus-style; see
+  //    DESIGN.md §8.
   std::printf("\n--- metrics (Prometheus exposition) ---\n%s",
               obs::MetricsRegistry::Global().PrometheusText().c_str());
   return 0;

@@ -20,6 +20,8 @@ const char* CodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
   }
   return "Unknown";
 }

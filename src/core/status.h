@@ -17,6 +17,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIOError,
+  kUnimplemented,
 };
 
 /// Lightweight error-reporting type. The library does not use exceptions;
@@ -46,6 +47,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

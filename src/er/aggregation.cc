@@ -21,12 +21,9 @@ Tensor HierarchicalAggregator::SummarizeAttribute(
   static obs::Counter& summaries = obs::MetricsRegistry::Global().GetCounter(
       "hiergat.aggregation.attribute_summaries");
   summaries.Increment();
-  Tensor cls = lm_->Embed({Vocabulary::kCls});  // [1, F]
-  Tensor seq = token_seq.empty()
-                   ? cls
-                   : ConcatRows({cls, GatherRows(wpc, token_seq)});
-  seq = Dropout(seq, dropout_, rng, training);
-  Tensor encoded = lm_->EncodeEmbedded(seq, training, rng);
+  Tensor gathered =
+      token_seq.empty() ? Tensor() : GatherRows(wpc, token_seq);
+  Tensor summary = SummarizeEmbedded(gathered, training, rng);
   if (AttentionRecordingEnabled()) {
     // [CLS] attention over the tokens, for visualization.
     const Tensor& attn = lm_->last_attention();  // [L, L]
@@ -35,6 +32,16 @@ Tensor HierarchicalAggregator::SummarizeAttribute(
       last_token_attention_.push_back(attn.at(0, j));
     }
   }
+  return summary;
+}
+
+Tensor HierarchicalAggregator::SummarizeEmbedded(const Tensor& gathered,
+                                                 bool training,
+                                                 Rng& rng) const {
+  Tensor cls = lm_->Embed({Vocabulary::kCls});  // [1, F]
+  Tensor seq = gathered.defined() ? ConcatRows({cls, gathered}) : cls;
+  seq = Dropout(seq, dropout_, rng, training);
+  Tensor encoded = lm_->EncodeEmbedded(seq, training, rng);
   return SliceRows(encoded, 0, 1);
 }
 

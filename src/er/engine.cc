@@ -1,11 +1,13 @@
 #include "er/engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 
 #include "nn/introspection.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/threadpool.h"
 
 namespace hiergat {
 
@@ -39,6 +41,16 @@ obs::Histogram& QueueWaitSecondsHistogram() {
       obs::MetricsRegistry::Global().GetHistogram(
           "hiergat.engine.queue_wait_seconds");
   return histogram;
+}
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("hiergat.engine.queue_depth");
+  return gauge;
+}
+obs::Counter& QueueLimitWaitsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.engine.queue_limit_waits");
+  return counter;
 }
 
 constexpr uint64_t Pack(int begin, int end) {
@@ -97,6 +109,7 @@ InferenceEngine::InferenceEngine(const EngineOptions& options)
                        ? options.num_threads
                        : std::max(1u, std::thread::hardware_concurrency())),
       grain_(std::max(1, options.min_grain)),
+      max_queue_depth_(std::max(0, options.max_queue_depth)),
       slots_(static_cast<size_t>(num_threads_)) {
   threads_.reserve(static_cast<size_t>(num_threads_));
   for (int w = 0; w < num_threads_; ++w) {
@@ -131,6 +144,13 @@ void InferenceEngine::WorkerLoop(int worker_id) {
   // batch scoring has no use for the values.
   SetAttentionRecording(false);
   obs::SetTraceThreadName("engine-worker-" + std::to_string(worker_id));
+  // Shared thread budget with the tensor ThreadPool: when the engine
+  // already fans items across >1 workers, intra-op parallelism inside a
+  // worker would oversubscribe the machine, so kernels launched from
+  // here run serial (see ScopedParallelismBan). A 1-worker engine keeps
+  // intra-op parallelism — the pool's lanes are then the only users.
+  std::optional<ScopedParallelismBan> intra_op_ban;
+  if (num_threads_ > 1) intra_op_ban.emplace();
   uint64_t seen_generation = 0;
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
@@ -202,6 +222,16 @@ void InferenceEngine::RunJob(int total,
   // in-flight job, so callers queue here for the pool. queue_wait is
   // the time a caller spends behind other callers' jobs.
   const uint64_t enqueue_ns = obs::MonotonicNowNs();
+  {
+    std::unique_lock<std::mutex> queue_lock(queue_mutex_);
+    if (max_queue_depth_ > 0 && queue_depth_ >= max_queue_depth_) {
+      QueueLimitWaitsCounter().Increment();
+      queue_cv_.wait(queue_lock,
+                     [&] { return queue_depth_ < max_queue_depth_; });
+    }
+    ++queue_depth_;
+    QueueDepthGauge().Set(static_cast<double>(queue_depth_));
+  }
   std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
   const uint64_t start_ns = obs::MonotonicNowNs();
   QueueWaitSecondsHistogram().Observe(
@@ -232,6 +262,12 @@ void InferenceEngine::RunJob(int total,
   job_fn_ = nullptr;
   BatchSecondsHistogram().Observe(
       static_cast<double>(obs::MonotonicNowNs() - start_ns) * 1e-9);
+  {
+    std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+    --queue_depth_;
+    QueueDepthGauge().Set(static_cast<double>(queue_depth_));
+  }
+  queue_cv_.notify_one();
 }
 
 std::vector<float> InferenceEngine::Score(const PairwiseModel& model,

@@ -33,6 +33,12 @@ struct EngineOptions {
   /// available), so per-batch setup amortizes; stealing may hand out
   /// larger chunks.
   int min_grain = 4;
+  /// Caps how many caller jobs may be enqueued (including the running
+  /// one) before additional callers block *before* joining the queue;
+  /// 0 means unlimited. The pool runs one job at a time either way —
+  /// the cap is backpressure for fan-in servers, and each wait is
+  /// counted in `hiergat.engine.queue_limit_waits`.
+  int max_queue_depth = 0;
 };
 
 /// Batched, multi-threaded inference over trained matchers.
@@ -102,11 +108,17 @@ class InferenceEngine {
 
   int num_threads_;
   int grain_;
+  int max_queue_depth_;
   std::vector<Slot> slots_;
   std::vector<std::thread> threads_;
 
   /// Serializes RunJob across caller threads; held for a whole job.
   std::mutex jobs_mutex_;
+
+  /// Admission control (see EngineOptions::max_queue_depth).
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  int queue_depth_ = 0;
 
   std::mutex mutex_;
   std::condition_variable cv_;       // Wakes workers on a new job.

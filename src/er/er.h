@@ -2,8 +2,11 @@
 #define HIERGAT_ER_ER_H_
 
 /// Umbrella header: the public surface of the ER system in one include.
-/// Typical flow: load/generate a dataset, MakeMatcher(...), Train, then
-/// batch-score blocker output through InferenceEngine (or ScoreBatch).
+/// Typical flow: load/generate a dataset, Session::Open(...), Train,
+/// then batch-score blocker output through Session::Score (which routes
+/// through the engine's worker pool). The Make*/Load* factories below
+/// predate er::Session and remain as thin wrappers for callers that
+/// want a bare model without an engine.
 
 #include <memory>
 #include <string>
@@ -21,6 +24,7 @@
 #include "er/hiergat_plus.h"
 #include "er/metrics.h"
 #include "er/model.h"
+#include "er/session.h"
 #include "er/summary_cache.h"
 
 namespace hiergat {
@@ -37,7 +41,8 @@ struct MatcherOptions {
 
 /// Builds a pairwise matcher by name: "hiergat", "ditto", "deepmatcher"
 /// (alias "dm"), "dm+", or "magellan" (case-insensitive). Returns
-/// nullptr for unknown names.
+/// nullptr for unknown names. Deprecated in favor of Session::Open,
+/// which also wires up the engine and inference options.
 std::unique_ptr<PairwiseModel> MakeMatcher(
     const std::string& name, const MatcherOptions& options = MatcherOptions());
 
@@ -49,7 +54,8 @@ std::unique_ptr<CollectiveModel> MakeCollectiveMatcher(
 /// Reconstructs a ready-to-score pairwise matcher from a checkpoint
 /// written by PairwiseModel::Save. The model type is dispatched on the
 /// checkpoint's embedded tag, and the config travels with the weights,
-/// so no MatcherOptions are needed.
+/// so no MatcherOptions are needed. Deprecated in favor of
+/// Session::Open with SessionOptions::checkpoint_path.
 StatusOr<std::unique_ptr<PairwiseModel>> LoadMatcher(const std::string& path);
 
 /// Collective counterpart of LoadMatcher (currently "HierGAT+").

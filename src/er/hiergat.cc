@@ -9,6 +9,7 @@
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/graph.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -16,6 +17,18 @@ namespace hiergat {
 namespace {
 
 constexpr char kHierGatTag[] = "HierGAT";
+
+obs::Counter& CompiledPairs() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.score.compiled_pairs");
+  return c;
+}
+
+obs::Counter& EagerPairs() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.score.eager_pairs");
+  return c;
+}
 
 double MillisSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
@@ -54,6 +67,16 @@ void HierGatModel::BuildModules(uint64_t seed) {
       std::vector<int>{backbone_.lm->dim(), config_.classifier_hidden, 2},
       rng);
   summary_cache_.Clear();
+
+  CompiledScoringConfig compiled;
+  compiled.lm = backbone_.lm.get();
+  compiled.aggregator = aggregator_.get();
+  compiled.comparator = comparator_.get();
+  compiled.classifier = classifier_.get();
+  compiled.num_attributes = num_attributes_;
+  compiled.entity_inputs = false;   // Entities summarize inside the graph.
+  compiled.include_softmax = true;  // ScoreBatch wants P(match).
+  compiled_ = std::make_unique<CompiledScoring>(compiled);
 }
 
 void HierGatModel::RegisterCheckpointParameters(NamedParameters* out) const {
@@ -165,7 +188,11 @@ Tensor HierGatModel::ForwardSimilarity(const EntityPair& pair, bool training,
   SummaryCache* cache =
       (!training && cache_enabled_) ? &summary_cache_ : nullptr;
   const Tensor wpc = contextual_->Compute(hhg, training, rng, cache);
+  return SimilarityFromWpc(hhg, wpc, training, rng);
+}
 
+Tensor HierGatModel::SimilarityFromWpc(const Hhg& hhg, const Tensor& wpc,
+                                       bool training, Rng& rng) const {
   // Hierarchical aggregation per entity. (The summaries read the WpC
   // rows, which couple both entities through shared token nodes and
   // key-group context — so unlike the per-attribute terms above they
@@ -204,9 +231,35 @@ Tensor HierGatModel::ForwardLogits(const EntityPair& pair, bool training,
   return classifier_->Forward(ForwardSimilarity(pair, training, rng));
 }
 
+bool HierGatModel::TryScorePairCompiled(const Hhg& hhg, const Tensor& wpc,
+                                        float* probability) const {
+  if (!graph_compile_enabled_ || compiled_ == nullptr ||
+      graph::GraphCapture::Active()) {
+    return false;
+  }
+  std::vector<std::vector<Tensor>> attrs(2);
+  for (int e = 0; e < 2; ++e) {
+    const std::vector<int>& ids = hhg.entity(e).attributes;
+    if (static_cast<int>(ids.size()) != num_attributes_) return false;
+    for (int attr_id : ids) {
+      Tensor summary =
+          compiled_->Summarize(wpc, hhg.attribute(attr_id).token_seq);
+      if (!summary.defined()) return false;
+      attrs[static_cast<size_t>(e)].push_back(std::move(summary));
+    }
+  }
+  // Pairwise HierGAT summarizes entities inside the compare graph, so
+  // no entity inputs; the graph ends in Softmax and returns P(match).
+  Tensor probs = compiled_->Compare(attrs[0], attrs[1], Tensor(), Tensor());
+  if (!probs.defined()) return false;
+  *probability = probs.at(0, 1);
+  return true;
+}
+
 std::vector<float> HierGatModel::ScoreBatch(
     std::span<const EntityPair> pairs) const {
   HG_TRACE_SPAN("HierGatModel::ScoreBatch");
+  HG_CHECK(built_) << "HierGatModel::Train must run before inference";
   NoGradGuard no_grad;
   Rng unused(0);
   std::vector<float> probabilities;
@@ -214,8 +267,20 @@ std::vector<float> HierGatModel::ScoreBatch(
   for (const EntityPair& pair : pairs) {
     // Every pair in the batch shares summary_cache_, so repeated
     // attribute values hit the memo from the second occurrence on.
-    Tensor probs = Softmax(ForwardLogits(pair, /*training=*/false, unused));
-    probabilities.push_back(probs.at(0, 1));
+    const Hhg hhg = Hhg::Build({pair.left, pair.right});
+    SummaryCache* cache = cache_enabled_ ? &summary_cache_ : nullptr;
+    const Tensor wpc =
+        contextual_->Compute(hhg, /*training=*/false, unused, cache);
+    float probability = 0.0f;
+    if (TryScorePairCompiled(hhg, wpc, &probability)) {
+      CompiledPairs().Increment();
+    } else {
+      EagerPairs().Increment();
+      Tensor probs = Softmax(classifier_->Forward(
+          SimilarityFromWpc(hhg, wpc, /*training=*/false, unused)));
+      probability = probs.at(0, 1);
+    }
+    probabilities.push_back(probability);
   }
   if (cache_enabled_) {
     const SummaryCache::Stats stats = summary_cache_.stats();
@@ -228,7 +293,24 @@ std::vector<float> HierGatModel::ScoreBatch(
   return probabilities;
 }
 
-void HierGatModel::InvalidateInferenceCache() const { summary_cache_.Clear(); }
+void HierGatModel::InvalidateInferenceCache() const {
+  summary_cache_.Clear();
+  // Compiled graphs folded the old parameter values into constants.
+  if (compiled_ != nullptr) compiled_->Clear();
+}
+
+Status HierGatModel::CompileScoringGraph(
+    const std::vector<int>& attribute_lengths) {
+  if (!built_) {
+    return Status::FailedPrecondition(
+        "HierGatModel::CompileScoringGraph: train or load a model first");
+  }
+  return compiled_->Compile(attribute_lengths);
+}
+
+CompiledScoring::Stats HierGatModel::compiled_stats() const {
+  return compiled_ != nullptr ? compiled_->stats() : CompiledScoring::Stats{};
+}
 
 std::vector<Tensor> HierGatModel::TrainableParameters() const {
   std::vector<Tensor> params;

@@ -8,6 +8,7 @@
 
 #include "core/serialize.h"
 #include "er/aggregation.h"
+#include "er/compiled_scoring.h"
 #include "er/comparison.h"
 #include "er/contextual.h"
 #include "er/lm_backbone.h"
@@ -76,6 +77,23 @@ class HierGatModel : public NeuralPairwiseModel {
   /// for benchmarking the uncached path).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
   const SummaryCache& summary_cache() const { return summary_cache_; }
+  void set_summary_cache_capacity(size_t max_entries) override {
+    summary_cache_.set_max_entries(max_entries);
+  }
+
+  /// Compiled-graph scoring (DESIGN.md §11). ScoreBatch automatically
+  /// replays through compiled summarize/compare graphs once they exist
+  /// (they compile lazily on first sight of each attribute length);
+  /// CompileScoringGraph forces ahead-of-time compilation for the given
+  /// attribute token-sequence lengths. Odd shapes and capture failures
+  /// fall back to the eager path, which stays bit-identical.
+  Status CompileScoringGraph(const std::vector<int>& attribute_lengths);
+  void set_graph_compile_enabled(bool enabled) override {
+    graph_compile_enabled_ = enabled;
+  }
+  /// Planner footprint of the compiled graphs (undefined before any
+  /// compilation); exposed for benches and tests.
+  CompiledScoring::Stats compiled_stats() const;
 
   /// Attention introspection for Figure 9: token weights within each
   /// attribute (from the attribute-summarization [CLS] attention) and
@@ -118,6 +136,18 @@ class HierGatModel : public NeuralPairwiseModel {
   Tensor ForwardSimilarity(const EntityPair& pair, bool training,
                            Rng& rng) const;
 
+  /// ForwardSimilarity once the HHG and WpC matrix exist (shared with
+  /// the compiled path's eager fallback).
+  Tensor SimilarityFromWpc(const Hhg& hhg, const Tensor& wpc, bool training,
+                           Rng& rng) const;
+
+  /// Scores one pair through the compiled summarize/compare graphs.
+  /// Returns false (leaving `probability` untouched) whenever replay is
+  /// unavailable — compilation disabled/failed, schema mismatch — and
+  /// the caller runs the eager path instead.
+  bool TryScorePairCompiled(const Hhg& hhg, const Tensor& wpc,
+                            float* probability) const;
+
   HierGatConfig config_;
   LmBackbone backbone_;
   std::unique_ptr<ContextualEmbedder> contextual_;
@@ -127,7 +157,11 @@ class HierGatModel : public NeuralPairwiseModel {
   int num_attributes_ = 0;
   bool built_ = false;
   bool cache_enabled_ = true;
+  bool graph_compile_enabled_ = true;
   mutable SummaryCache summary_cache_;
+  /// Rebuilt by BuildModules (so Load can't replay stale weights: the
+  /// graphs compile lazily, after ReadAll has overwritten parameters).
+  mutable std::unique_ptr<CompiledScoring> compiled_;
 };
 
 }  // namespace hiergat

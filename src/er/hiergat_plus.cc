@@ -7,6 +7,7 @@
 #include "er/checkpoint_meta.h"
 #include "graph/hhg.h"
 #include "obs/metrics.h"
+#include "tensor/graph.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
@@ -56,6 +57,19 @@ void HierGatPlusModel::BuildModules(uint64_t seed) {
       std::vector<int>{backbone_.lm->dim(), config_.classifier_hidden, 2},
       rng);
   summary_cache_.Clear();
+
+  CompiledScoringConfig compiled;
+  compiled.lm = backbone_.lm.get();
+  compiled.aggregator = aggregator_.get();
+  compiled.comparator = comparator_.get();
+  compiled.classifier = classifier_.get();
+  compiled.num_attributes = num_attributes_;
+  // The aligned entity matrix comes from the (eager) alignment layer,
+  // so entity embeddings enter the compare graph as inputs; logits stay
+  // raw because PredictQuery softmaxes the [N, 2] rows itself.
+  compiled.entity_inputs = true;
+  compiled.include_softmax = false;
+  compiled_ = std::make_unique<CompiledScoring>(compiled);
 }
 
 void HierGatPlusModel::RegisterCheckpointParameters(
@@ -169,6 +183,21 @@ void HierGatPlusModel::Train(const CollectiveDataset& data,
 
 void HierGatPlusModel::InvalidateInferenceCache() const {
   summary_cache_.Clear();
+  // Compiled graphs folded the old parameter values into constants.
+  if (compiled_ != nullptr) compiled_->Clear();
+}
+
+Status HierGatPlusModel::CompileScoringGraph(
+    const std::vector<int>& attribute_lengths) {
+  if (!built_) {
+    return Status::FailedPrecondition(
+        "HierGatPlusModel::CompileScoringGraph: train or load a model first");
+  }
+  return compiled_->Compile(attribute_lengths);
+}
+
+CompiledScoring::Stats HierGatPlusModel::compiled_stats() const {
+  return compiled_ != nullptr ? compiled_->stats() : CompiledScoring::Stats{};
 }
 
 Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
@@ -185,6 +214,13 @@ Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
   SummaryCache* cache = training ? nullptr : &summary_cache_;
   const Tensor wpc = contextual_->Compute(hhg, training, rng, cache);
 
+  // Compiled-graph replay (DESIGN.md §11): only on the pure inference
+  // path — training (and any grad-enabled forward) must build autograd
+  // graphs, and a capture in flight must keep tracing eager ops.
+  const bool use_compiled = !training && !GradModeEnabled() &&
+                            graph_compile_enabled_ && compiled_ != nullptr &&
+                            !graph::GraphCapture::Active();
+
   const int m = hhg.num_entities();
   std::vector<std::vector<Tensor>> attr_embeddings(
       static_cast<size_t>(m));
@@ -192,9 +228,16 @@ Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
   entity_rows.reserve(static_cast<size_t>(m));
   for (int e = 0; e < m; ++e) {
     for (int attr_id : hhg.entity(e).attributes) {
-      attr_embeddings[static_cast<size_t>(e)].push_back(
-          aggregator_->SummarizeAttribute(
-              wpc, hhg.attribute(attr_id).token_seq, training, rng));
+      const std::vector<int>& token_seq = hhg.attribute(attr_id).token_seq;
+      Tensor summary;
+      if (use_compiled) summary = compiled_->Summarize(wpc, token_seq);
+      if (!summary.defined()) {
+        // Eager fallback (capture failed for this length); bit-identical
+        // to replay, so mixing paths within one query is fine.
+        summary = aggregator_->SummarizeAttribute(wpc, token_seq, training,
+                                                  rng);
+      }
+      attr_embeddings[static_cast<size_t>(e)].push_back(std::move(summary));
     }
     // Schema sanity: all entities share the dataset's K attributes.
     HG_CHECK_EQ(static_cast<int>(attr_embeddings[static_cast<size_t>(e)].size()),
@@ -216,6 +259,17 @@ Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
   std::vector<Tensor> logits_rows;
   logits_rows.reserve(query.candidates.size());
   for (int c = 1; c < m; ++c) {
+    Tensor candidate_entity = SliceRows(entity_matrix, c, c + 1);
+    if (use_compiled) {
+      Tensor logits =
+          compiled_->Compare(attr_embeddings[0],
+                             attr_embeddings[static_cast<size_t>(c)],
+                             query_entity, candidate_entity);
+      if (logits.defined()) {
+        logits_rows.push_back(std::move(logits));
+        continue;
+      }
+    }
     std::vector<Tensor> similarities;
     similarities.reserve(static_cast<size_t>(num_attributes_));
     for (int a = 0; a < num_attributes_; ++a) {
@@ -224,7 +278,6 @@ Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
           attr_embeddings[static_cast<size_t>(c)][static_cast<size_t>(a)],
           training, rng));
     }
-    Tensor candidate_entity = SliceRows(entity_matrix, c, c + 1);
     Tensor similarity = comparator_->CombineViews(similarities, query_entity,
                                                   candidate_entity);
     logits_rows.push_back(classifier_->Forward(similarity));

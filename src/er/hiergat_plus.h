@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "er/aggregation.h"
+#include "er/compiled_scoring.h"
 #include "er/comparison.h"
 #include "er/contextual.h"
 #include "er/hiergat.h"
@@ -61,6 +62,18 @@ class HierGatPlusModel : public NeuralCollectiveModel {
   /// Inference-time entity-summary cache (hit/miss/eviction stats; also
   /// aggregated into the `hiergat.cache.*` metrics).
   const SummaryCache& summary_cache() const { return summary_cache_; }
+  void set_summary_cache_capacity(size_t max_entries) override {
+    summary_cache_.set_max_entries(max_entries);
+  }
+
+  /// See HierGatModel::CompileScoringGraph. The collective compare
+  /// graph takes the aligned entity embeddings as inputs and returns
+  /// raw logits (PredictQuery softmaxes over the candidate rows).
+  Status CompileScoringGraph(const std::vector<int>& attribute_lengths);
+  void set_graph_compile_enabled(bool enabled) override {
+    graph_compile_enabled_ = enabled;
+  }
+  CompiledScoring::Stats compiled_stats() const;
 
  protected:
   Tensor ForwardQueryLogits(const CollectiveQuery& query, bool training,
@@ -84,7 +97,10 @@ class HierGatPlusModel : public NeuralCollectiveModel {
   std::unique_ptr<Mlp> classifier_;
   int num_attributes_ = 0;
   bool built_ = false;
+  bool graph_compile_enabled_ = true;
   mutable SummaryCache summary_cache_;
+  /// See HierGatModel::compiled_ for the rebuild/staleness contract.
+  mutable std::unique_ptr<CompiledScoring> compiled_;
 };
 
 }  // namespace hiergat

@@ -1,0 +1,111 @@
+#ifndef HIERGAT_ER_SESSION_H_
+#define HIERGAT_ER_SESSION_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/entity.h"
+#include "er/engine.h"
+#include "er/metrics.h"
+#include "er/model.h"
+#include "text/mini_lm.h"
+
+namespace hiergat {
+
+struct MatcherOptions;  // er/er.h
+
+/// Everything needed to stand up a ready-to-serve matcher, in one
+/// struct. Session::Open consolidates what used to take four separate
+/// entry points (MakeMatcher / MakeCollectiveMatcher / LoadMatcher /
+/// LoadCollectiveMatcher plus a hand-built InferenceEngine) behind a
+/// single call.
+struct SessionOptions {
+  /// Matcher name for a fresh model ("hiergat", "ditto", "hiergat+",
+  /// ... — see MakeMatcher / MakeCollectiveMatcher). Ignored when
+  /// `checkpoint_path` is set: the checkpoint's embedded tag picks the
+  /// model type.
+  std::string matcher = "hiergat";
+  /// Collective (query + candidate set) vs pairwise matching.
+  bool collective = false;
+  /// When non-empty, Open restores a trained model from this
+  /// checkpoint instead of constructing an untrained one.
+  std::string checkpoint_path;
+  /// Backbone size / pre-training overrides for fresh models; see
+  /// MatcherOptions in er/er.h.
+  LmSize lm_size = LmSize::kMedium;
+  int lm_pretrain_steps = -1;
+
+  /// Inference-engine knobs (worker threads, grain, admission cap).
+  EngineOptions engine;
+  /// Re-caps the model's entity-summary cache; 0 keeps the model
+  /// default (SummaryCache::kDefaultMaxEntries).
+  size_t summary_cache_capacity = 0;
+  /// Compiled-graph scoring (DESIGN.md §11). On by default; turn off to
+  /// force the eager path (results are bit-identical either way).
+  bool enable_graph_compile = true;
+};
+
+/// One trained (or trainable) matcher plus the engine that serves it —
+/// the recommended top-level API:
+///
+///   SessionOptions options;
+///   options.checkpoint_path = "model.ckpt";
+///   auto session_or = Session::Open(options);
+///   HG_CHECK(session_or.ok());
+///   std::vector<float> probs = session_or.value()->Score(pairs);
+///
+/// A Session owns its model and engine; scoring entry points route
+/// through the engine's worker pool, so concurrent calls from several
+/// caller threads are safe (jobs serialize; see InferenceEngine).
+class Session {
+ public:
+  /// Builds (or, with `checkpoint_path`, loads) the model, applies the
+  /// cache/graph-compile options, and starts the engine.
+  static StatusOr<std::unique_ptr<Session>> Open(
+      const SessionOptions& options = SessionOptions());
+
+  ~Session();
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  bool collective() const { return collective_model_ != nullptr; }
+
+  /// --- Pairwise sessions -------------------------------------------
+  Status Train(const PairDataset& data, const TrainOptions& options);
+  std::vector<float> Score(std::span<const EntityPair> pairs);
+  EvalResult Evaluate(std::span<const EntityPair> pairs);
+
+  /// --- Collective sessions -----------------------------------------
+  Status Train(const CollectiveDataset& data, const TrainOptions& options);
+  std::vector<std::vector<float>> ScoreQueries(
+      std::span<const CollectiveQuery> queries);
+  EvalResult Evaluate(std::span<const CollectiveQuery> queries);
+
+  /// Serializes the trained model (either kind) to `path`; reload with
+  /// SessionOptions::checkpoint_path.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Escape hatches for model-specific APIs (InspectAttention, compiled
+  /// stats, ...). Null for the other session kind.
+  PairwiseModel* model() { return pairwise_model_.get(); }
+  const PairwiseModel* model() const { return pairwise_model_.get(); }
+  CollectiveModel* collective_model() { return collective_model_.get(); }
+  const CollectiveModel* collective_model() const {
+    return collective_model_.get();
+  }
+  InferenceEngine& engine() { return *engine_; }
+
+ private:
+  Session() = default;
+
+  std::unique_ptr<PairwiseModel> pairwise_model_;
+  std::unique_ptr<CollectiveModel> collective_model_;
+  std::unique_ptr<InferenceEngine> engine_;
+};
+
+}  // namespace hiergat
+
+#endif  // HIERGAT_ER_SESSION_H_

@@ -48,13 +48,34 @@ Tensor SummaryCache::GetOrCompute(const std::string& key,
   ++stats_.misses;
   MissesCounter().Increment();
   if (entries_.size() >= max_entries_ && entries_.count(key) == 0) {
-    stats_.evictions += static_cast<int64_t>(entries_.size());
-    EvictionsCounter().Increment(static_cast<int64_t>(entries_.size()));
-    entries_.clear();
+    // Segmented eviction: drop to half capacity so a slice of the
+    // working set survives every capacity event (a full flush forces
+    // the whole next batch to miss at once).
+    EvictDownToLocked(max_entries_ / 2);
   }
   auto [it, inserted] = entries_.emplace(key, std::move(value));
   SizeGauge().Set(static_cast<double>(entries_.size()));
   return it->second;
+}
+
+void SummaryCache::EvictDownToLocked(size_t target) {
+  int64_t evicted = 0;
+  for (auto it = entries_.begin();
+       entries_.size() > target && it != entries_.end();) {
+    it = entries_.erase(it);
+    ++evicted;
+  }
+  if (evicted > 0) {
+    stats_.evictions += evicted;
+    EvictionsCounter().Increment(evicted);
+    SizeGauge().Set(static_cast<double>(entries_.size()));
+  }
+}
+
+void SummaryCache::set_max_entries(size_t max_entries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_entries_ = max_entries > 0 ? max_entries : 1;
+  if (entries_.size() > max_entries_) EvictDownToLocked(max_entries_);
 }
 
 void SummaryCache::Clear() {

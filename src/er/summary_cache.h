@@ -28,12 +28,15 @@ namespace hiergat {
 /// computed under (owners clear the cache when parameters change; see
 /// PairwiseModel::InvalidateInferenceCache).
 ///
-/// Memory is bounded: once the table holds `max_entries` entries the
-/// next insert flushes it and starts over. Evicted values are simply
-/// recomputed on the next request — results are deterministic, so
-/// eviction never changes scores, only hit rate. Long runs over
-/// corpora with more than `max_entries` distinct attribute values
-/// therefore stay bounded without any caller-side Clear() discipline.
+/// Memory is bounded with *segmented* eviction: once the table holds
+/// `max_entries` entries the next insert evicts down to half capacity
+/// instead of flushing everything, so roughly half the working set
+/// survives each capacity event and hot keys keep hitting. Evicted
+/// values are simply recomputed on the next request — results are
+/// deterministic, so eviction never changes scores, only hit rate.
+/// Long runs over corpora with more than `max_entries` distinct
+/// attribute values therefore stay bounded without any caller-side
+/// Clear() discipline.
 class SummaryCache {
  public:
   /// Default cap. Entries hold per-attribute-value summary tensors
@@ -71,9 +74,18 @@ class SummaryCache {
 
   size_t size() const;
   size_t max_entries() const { return max_entries_; }
+
+  /// Re-caps the cache (0 is clamped to 1), evicting down to the new
+  /// cap immediately if it shrank below the current size.
+  void set_max_entries(size_t max_entries);
+
   Stats stats() const;
 
  private:
+  /// Erases arbitrary entries until size() <= target. Caller holds
+  /// mutex_.
+  void EvictDownToLocked(size_t target);
+
   size_t max_entries_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Tensor> entries_;

@@ -1,0 +1,181 @@
+#ifndef HIERGAT_TENSOR_GRAPH_H_
+#define HIERGAT_TENSOR_GRAPH_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace hiergat {
+
+class ThreadPool;  // tensor/threadpool.h
+
+namespace graph {
+
+/// Record/replay layer for the NoGrad scoring path (DESIGN.md §11).
+///
+/// Capture is *tracing*: under a GraphCapture guard, ops in tensor/ops.cc
+/// still execute eagerly (so the capture call itself returns correct
+/// values) and additionally append a node — a raw-pointer closure over
+/// the op's dimensions — to the active recorder. Finish() runs the
+/// allocation planner over the trace and produces an immutable
+/// CompiledGraph whose Run() replays the node closures against a single
+/// arena block: no Tensor, shared_ptr, BufferPool, or metric traffic per
+/// op, constant subgraphs folded away, and slices/reshapes reduced to
+/// pointer offsets.
+///
+/// Capture rules (what makes a trace compilable):
+///  - Tensors created *before* the capture (weights, embedded inputs)
+///    are leaves. Plain leaves are resolved through their TensorImpl on
+///    every Run, so in-place parameter edits are visible; but any node
+///    computed *entirely from leaves* is folded to a constant holding
+///    its capture-time value, so callers must drop compiled graphs when
+///    parameters change (HierGatModel does this in
+///    InvalidateInferenceCache / BuildModules / Load).
+///  - Tensors whose data varies per replay must be declared with
+///    MarkInput *before* an op consumes them.
+///  - Any op without a Record call (training-mode Dropout,
+///    SoftmaxCrossEntropy, Detach) poisons the capture: Finish() returns
+///    Unimplemented and the caller keeps its eager path. Eager execution
+///    during a poisoned capture remains fully correct.
+
+/// Node closure executed at replay. `in` holds the resolved input
+/// buffers in record order; `scratch` holds the writable per-node
+/// scratch buffers registered at record time (arena-planned, live only
+/// for this node); `out` is the node's output slot. Arena memory is
+/// *not* zero-filled — closures that accumulate (the GEMM family) must
+/// zero `out` themselves. `pool` may be null (run serial).
+using NodeFn = std::function<void(const float* const* in,
+                                  float* const* scratch, float* out,
+                                  ThreadPool* pool)>;
+
+/// Planner + capture statistics for one compiled graph.
+struct PlanStats {
+  int num_nodes = 0;   ///< Executable nodes after folding/view elision.
+  int num_values = 0;  ///< All values: constants, inputs, arena, views.
+  int num_folded = 0;  ///< Ops collapsed into constants at capture.
+  int num_views = 0;   ///< Slices/reshapes elided to pointer offsets.
+  size_t plan_bytes = 0;   ///< Arena footprint after live-range packing.
+  size_t eager_bytes = 0;  ///< Intermediate bytes the eager path allocates.
+};
+
+/// Introspection for planner tests: one arena value's placement.
+struct PlannedValue {
+  size_t offset_floats = 0;
+  size_t size_floats = 0;  ///< Rounded-up slot actually reserved.
+  int def_node = 0;
+  int last_use_node = 0;  ///< Inclusive; outputs are pinned past the end.
+};
+
+/// An immutable captured graph plus its memory plan. Thread-safe for
+/// concurrent Run() calls: per-replay state (arena block, pointer
+/// table) is local, and arena blocks are recycled through a small
+/// internal freelist.
+class CompiledGraph {
+ public:
+  ~CompiledGraph();
+  CompiledGraph(const CompiledGraph&) = delete;
+  CompiledGraph& operator=(const CompiledGraph&) = delete;
+
+  int num_inputs() const;
+  int num_outputs() const;
+  const Shape& input_shape(int i) const;
+  const Shape& output_shape(int i) const;
+  int64_t output_size(int i) const;
+
+  const PlanStats& stats() const;
+  /// Arena placements in definition order (planner tests).
+  const std::vector<PlannedValue>& plan() const;
+
+  /// Replays the graph. `inputs[i]` points at input_shape(i) elements;
+  /// `outputs[i]` receives output_size(i) elements. `pool` may be null.
+  void Run(const float* const* inputs, float* const* outputs,
+           ThreadPool* pool) const;
+
+  struct Impl;  // Internal representation; graph.cc only.
+
+ private:
+  friend class GraphCapture;
+  CompiledGraph();
+
+  std::unique_ptr<float[]> AcquireArena() const;
+  void ReleaseArena(std::unique_ptr<float[]> arena) const;
+
+  std::unique_ptr<Impl> impl_;
+
+  // Recycled arena blocks, all of the planned footprint.
+  mutable std::mutex arena_mutex_;
+  mutable std::vector<std::unique_ptr<float[]>> free_arenas_;
+};
+
+/// RAII capture scope. At most one capture per thread; captures on
+/// different threads are independent. Typical use:
+///
+///   GraphCapture capture;
+///   capture.MarkInput(x);               // per-replay data
+///   Tensor y = /* ops over x and weights */;
+///   capture.MarkOutput(y);
+///   auto compiled = capture.Finish();   // StatusOr; Unimplemented when
+///                                       // the trace hit an unsupported op
+class GraphCapture {
+ public:
+  GraphCapture();
+  ~GraphCapture();
+  GraphCapture(const GraphCapture&) = delete;
+  GraphCapture& operator=(const GraphCapture&) = delete;
+
+  /// True while some GraphCapture is active on this thread.
+  static bool Active();
+
+  /// Declares `t` as replay-variable input i (call order defines i).
+  /// Must precede any op that consumes `t`.
+  void MarkInput(const Tensor& t);
+
+  /// Declares `t` as output i (call order defines i). `t` must be a
+  /// value the capture has seen (op result, input, or leaf).
+  void MarkOutput(const Tensor& t);
+
+  /// Ends the capture and runs the planner. Returns Unimplemented when
+  /// the trace is not replayable (unsupported op or an op result that
+  /// never passed through Record). May be called once.
+  StatusOr<std::unique_ptr<CompiledGraph>> Finish();
+
+  /// False once an unsupported op has poisoned the capture (Finish will
+  /// fail; callers can bail out of an expensive trace early).
+  bool ok() const;
+};
+
+// -- Recording hooks (called from tensor.cc / ops.cc) --------------------
+// All are no-ops when no capture is active on the calling thread.
+
+/// Tensor::MakeNode / MakeAlias registers every impl created during a
+/// capture; Record/RecordView claim them back. Anything left unclaimed
+/// marks the trace as not replayable. The recorder retains the impl for
+/// the capture's duration so heap-address recycling can never alias two
+/// distinct capture-time tensors in its pointer-keyed tables.
+void OnTensorCreated(const std::shared_ptr<internal_tensor::TensorImpl>& impl);
+
+/// Poisons the active capture (op with no replay closure).
+void OnUnsupported(const char* what);
+
+/// Records `out = fn(inputs...)`. `name` must have static lifetime (op
+/// name literal; used for per-node trace spans). `scratch_sizes` are
+/// per-node writable buffers (in floats) planned in the arena and
+/// passed to `fn` in order.
+void Record(const Tensor& out, const std::vector<Tensor>& inputs,
+            const char* name, NodeFn fn,
+            const std::vector<size_t>& scratch_sizes = {});
+
+/// Records `out` as a pure view of `base` at `offset_floats`
+/// (SliceRows/Row/Reshape/Flatten): no node, no replay work.
+void RecordView(const Tensor& out, const Tensor& base, size_t offset_floats);
+
+}  // namespace graph
+}  // namespace hiergat
+
+#endif  // HIERGAT_TENSOR_GRAPH_H_

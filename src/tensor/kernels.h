@@ -4,6 +4,9 @@
 #include <cstddef>
 
 namespace hiergat {
+
+class ThreadPool;  // tensor/threadpool.h
+
 namespace kernels {
 
 // Raw-pointer compute kernels shared by forward ops and backward
@@ -85,6 +88,48 @@ void LayerNormBackwardRows(int rows, int cols, const float* xhat,
                            const float* inv_std, const float* gamma,
                            const float* gy, float* gx, float* ggamma,
                            float* gbeta);
+
+// -- Intra-op parallel wrappers ------------------------------------------
+//
+// Row-partitioned versions of the forward kernels above, dispatched
+// over a persistent ThreadPool (tensor/threadpool.h). Each wrapper
+// falls back to the serial kernel when `pool` is null, the pool has one
+// lane, intra-op parallelism is banned on the calling thread, or the
+// problem is below the parallel threshold — callers can use them
+// unconditionally.
+//
+// Bit-identity: every kernel here accumulates each output element over
+// k (or its row) in ascending order regardless of how rows are blocked,
+// and ParallelFor's chunk boundaries depend only on the shape — so the
+// parallel wrappers produce bit-identical results to the serial
+// kernels at any thread count. GEMM row chunks are still aligned to the
+// kMR micro-tile for locality.
+
+/// C[m,n] += alpha * A[m,k] * B[k,n], rows of C partitioned.
+void ParallelGemmNN(ThreadPool* pool, int m, int n, int k, float alpha,
+                    const float* a, const float* b, float* c);
+
+/// C[m,n] += alpha * A[m,k] * B[n,k]^T, rows of C partitioned.
+void ParallelGemmNT(ThreadPool* pool, int m, int n, int k, float alpha,
+                    const float* a, const float* b, float* c);
+
+/// C[m,n] += alpha * A[k,m]^T * B[k,n]. Runs serial: the transposed-A
+/// layout has leading dimension m, so a row block of C is a *strided*
+/// column block of A that the dense kernel cannot address. TN only
+/// appears on backward passes, which run under autograd rather than
+/// the compiled replay path this family exists for.
+void ParallelGemmTN(ThreadPool* pool, int m, int n, int k, float alpha,
+                    const float* a, const float* b, float* c);
+
+/// Row-wise softmax, rows partitioned. In-place (y == x) is allowed.
+void ParallelSoftmaxRows(ThreadPool* pool, int rows, int cols, const float* x,
+                         float* y);
+
+/// Row-wise layer norm, rows partitioned; same outputs as LayerNormRows.
+void ParallelLayerNormRows(ThreadPool* pool, int rows, int cols, float eps,
+                           const float* x, const float* gamma,
+                           const float* beta, float* y, float* xhat,
+                           float* inv_std);
 
 }  // namespace kernels
 }  // namespace hiergat

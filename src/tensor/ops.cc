@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "tensor/graph.h"
 #include "tensor/kernels.h"
 #include "tensor/pool.h"
+#include "tensor/threadpool.h"
 
 namespace hiergat {
 
@@ -35,15 +37,30 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
       << ShapeToString(b.shape());
 }
 
-/// Applies a scalar function and its derivative as a unary op.
+// Every op below executes eagerly as always; under an active
+// GraphCapture it additionally records a replay closure over its raw
+// dimensions (see tensor/graph.h). The Capturing() gate keeps the
+// closure/std::function construction entirely off the non-capture path.
+bool Capturing() { return graph::GraphCapture::Active(); }
+
+/// Applies a scalar function and its derivative as a unary op. `name`
+/// labels the replay node (static lifetime, used for trace spans).
 template <typename Fwd, typename Bwd>
-Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd) {
+Tensor UnaryOp(const Tensor& a, const char* name, Fwd fwd, Bwd bwd) {
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
   const size_t n = a.data().size();
   const float* ad = a.data().data();
   float* od = out.data().data();
   for (size_t i = 0; i < n; ++i) od[i] = fwd(ad[i]);
+  if (Capturing()) {
+    graph::Record(out, {a}, name,
+                  [n, fwd](const float* const* in, float* const*, float* op,
+                           ThreadPool*) {
+                    const float* xd = in[0];
+                    for (size_t i = 0; i < n; ++i) op[i] = fwd(xd[i]);
+                  });
+  }
   if (rg) {
     Impl ai = a.impl().get();
     Impl oi = out.impl().get();
@@ -69,6 +86,15 @@ Tensor Add(const Tensor& a, const Tensor& b) {
     const int rows = a.dim(0), cols = a.dim(1);
     std::copy(a.data().begin(), a.data().end(), out.data().begin());
     kernels::AddBiasRows(rows, cols, b.data().data(), out.data().data());
+    if (Capturing()) {
+      graph::Record(out, {a, b}, "Add(bias)",
+                    [rows, cols](const float* const* in, float* const*,
+                                 float* op, ThreadPool*) {
+                      const size_t n = static_cast<size_t>(rows) * cols;
+                      std::copy(in[0], in[0] + n, op);
+                      kernels::AddBiasRows(rows, cols, in[1], op);
+                    });
+    }
     if (rg) {
       Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
       out.set_backward_fn([ai, bi, oi, rows, cols]() {
@@ -90,6 +116,12 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
   kernels::AddInto(a.data().size(), a.data().data(), b.data().data(),
                    out.data().data());
+  if (Capturing()) {
+    const size_t n = a.data().size();
+    graph::Record(out, {a, b}, "Add",
+                  [n](const float* const* in, float* const*, float* op,
+                      ThreadPool*) { kernels::AddInto(n, in[0], in[1], op); });
+  }
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi]() {
@@ -123,6 +155,18 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
                        ad + static_cast<size_t>(r) * cols, bd,
                        od + static_cast<size_t>(r) * cols);
     }
+    if (Capturing()) {
+      graph::Record(out, {a, b}, "Sub(bias)",
+                    [rows, cols](const float* const* in, float* const*,
+                                 float* op, ThreadPool*) {
+                      for (int r = 0; r < rows; ++r) {
+                        kernels::SubInto(static_cast<size_t>(cols),
+                                         in[0] + static_cast<size_t>(r) * cols,
+                                         in[1],
+                                         op + static_cast<size_t>(r) * cols);
+                      }
+                    });
+    }
     if (rg) {
       Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
       out.set_backward_fn([ai, bi, oi, rows, cols]() {
@@ -147,6 +191,12 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
   kernels::SubInto(a.data().size(), a.data().data(), b.data().data(),
                    out.data().data());
+  if (Capturing()) {
+    const size_t n = a.data().size();
+    graph::Record(out, {a, b}, "Sub",
+                  [n](const float* const* in, float* const*, float* op,
+                      ThreadPool*) { kernels::SubInto(n, in[0], in[1], op); });
+  }
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi]() {
@@ -171,6 +221,12 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
   kernels::MulInto(a.data().size(), a.data().data(), b.data().data(),
                    out.data().data());
+  if (Capturing()) {
+    const size_t n = a.data().size();
+    graph::Record(out, {a, b}, "Mul",
+                  [n](const float* const* in, float* const*, float* op,
+                      ThreadPool*) { kernels::MulInto(n, in[0], in[1], op); });
+  }
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi]() {
@@ -194,6 +250,12 @@ Tensor Scale(const Tensor& a, float s) {
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
   kernels::ScaleInto(a.data().size(), s, a.data().data(),
                      out.data().data());
+  if (Capturing()) {
+    const size_t n = a.data().size();
+    graph::Record(out, {a}, "Scale",
+                  [n, s](const float* const* in, float* const*, float* op,
+                         ThreadPool*) { kernels::ScaleInto(n, s, in[0], op); });
+  }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, s]() {
@@ -206,7 +268,8 @@ Tensor Scale(const Tensor& a, float s) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   return UnaryOp(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+      a, "AddScalar", [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
 }
 
 Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
@@ -224,6 +287,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   // GEMM kernel computes plain assignment here.
   kernels::GemmNN(m, n, k, 1.0f, a.data().data(), b.data().data(),
                   out.data().data());
+  if (Capturing()) {
+    graph::Record(out, {a, b}, "MatMul",
+                  [m, n, k](const float* const* in, float* const*, float* op,
+                            ThreadPool* pool) {
+                    // Arena slots are uninitialized; GEMM accumulates.
+                    std::fill(op, op + static_cast<size_t>(m) * n, 0.0f);
+                    kernels::ParallelGemmNN(pool, m, n, k, 1.0f, in[0], in[1],
+                                            op);
+                  });
+  }
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi, m, k, n]() {
@@ -255,6 +328,17 @@ Tensor Transpose(const Tensor& a) {
   for (int i = 0; i < r; ++i)
     for (int j = 0; j < c; ++j)
       od[static_cast<size_t>(j) * r + i] = ad[static_cast<size_t>(i) * c + j];
+  if (Capturing()) {
+    graph::Record(out, {a}, "Transpose",
+                  [r, c](const float* const* in, float* const*, float* op,
+                         ThreadPool*) {
+                    const float* xd = in[0];
+                    for (int i = 0; i < r; ++i)
+                      for (int j = 0; j < c; ++j)
+                        op[static_cast<size_t>(j) * r + i] =
+                            xd[static_cast<size_t>(i) * c + j];
+                  });
+  }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, r, c]() {
@@ -274,6 +358,7 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
   // Aliases the parent's storage (no buffer copy); only the gradient
   // buffers stay separate.
   Tensor out = Tensor::MakeAlias(shape, rg, a);
+  if (Capturing()) graph::RecordView(out, a, 0);
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi]() {
@@ -306,6 +391,20 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   for (const Tensor& p : parts) {
     std::copy(p.data().begin(), p.data().end(), out.data().begin() + offset);
     offset += p.data().size();
+  }
+  if (Capturing()) {
+    std::vector<size_t> sizes;
+    sizes.reserve(parts.size());
+    for (const Tensor& p : parts) sizes.push_back(p.data().size());
+    graph::Record(out, parts, "ConcatRows",
+                  [sizes](const float* const* in, float* const*, float* op,
+                          ThreadPool*) {
+                    size_t offset = 0;
+                    for (size_t pi = 0; pi < sizes.size(); ++pi) {
+                      std::copy(in[pi], in[pi] + sizes[pi], op + offset);
+                      offset += sizes[pi];
+                    }
+                  });
   }
   if (rg) {
     std::vector<Impl> impls;
@@ -353,6 +452,27 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     }
     col_offset += pc;
   }
+  if (Capturing()) {
+    std::vector<int> widths;
+    widths.reserve(parts.size());
+    for (const Tensor& p : parts) widths.push_back(p.dim(1));
+    graph::Record(out, parts, "ConcatCols",
+                  [widths, rows, cols](const float* const* in, float* const*,
+                                       float* op, ThreadPool*) {
+                    int col_offset = 0;
+                    for (size_t pi = 0; pi < widths.size(); ++pi) {
+                      const int pc = widths[pi];
+                      const float* pd = in[pi];
+                      float* od = op + col_offset;
+                      for (int r = 0; r < rows; ++r) {
+                        std::copy(pd + static_cast<size_t>(r) * pc,
+                                  pd + static_cast<size_t>(r + 1) * pc,
+                                  od + static_cast<size_t>(r) * cols);
+                      }
+                      col_offset += pc;
+                    }
+                  });
+  }
   if (rg) {
     std::vector<Impl> impls;
     std::vector<int> widths;
@@ -392,6 +512,10 @@ Tensor SliceRows(const Tensor& a, int begin, int end) {
   std::copy(a.data().begin() + static_cast<size_t>(begin) * cols,
             a.data().begin() + static_cast<size_t>(end) * cols,
             out.data().begin());
+  if (Capturing()) {
+    // Contiguous row range: pure view at a fixed offset.
+    graph::RecordView(out, a, static_cast<size_t>(begin) * cols);
+  }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, begin, cols]() {
@@ -416,6 +540,19 @@ Tensor SliceCols(const Tensor& a, int begin, int end) {
     std::copy(ad + static_cast<size_t>(r) * cols,
               ad + static_cast<size_t>(r) * cols + width,
               od + static_cast<size_t>(r) * width);
+  }
+  if (Capturing()) {
+    graph::Record(out, {a}, "SliceCols",
+                  [rows, cols, begin, width](const float* const* in,
+                                             float* const*, float* op,
+                                             ThreadPool*) {
+                    const float* xd = in[0] + begin;
+                    for (int r = 0; r < rows; ++r) {
+                      std::copy(xd + static_cast<size_t>(r) * cols,
+                                xd + static_cast<size_t>(r) * cols + width,
+                                op + static_cast<size_t>(r) * width);
+                    }
+                  });
   }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
@@ -447,6 +584,18 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
               a.data().begin() + static_cast<size_t>(src + 1) * cols,
               out.data().begin() + i * cols);
   }
+  if (Capturing()) {
+    graph::Record(out, {a}, "GatherRows",
+                  [indices, cols](const float* const* in, float* const*,
+                                  float* op, ThreadPool*) {
+                    const float* xd = in[0];
+                    for (size_t i = 0; i < indices.size(); ++i) {
+                      std::copy(xd + static_cast<size_t>(indices[i]) * cols,
+                                xd + static_cast<size_t>(indices[i] + 1) * cols,
+                                op + i * cols);
+                    }
+                  });
+  }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, indices, cols]() {
@@ -464,25 +613,25 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
 
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return x > 0 ? x : 0.0f; },
+      a, "Relu", [](float x) { return x > 0 ? x : 0.0f; },
       [](float x, float) { return x > 0 ? 1.0f : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float alpha) {
   return UnaryOp(
-      a, [alpha](float x) { return x > 0 ? x : alpha * x; },
+      a, "LeakyRelu", [alpha](float x) { return x > 0 ? x : alpha * x; },
       [alpha](float x, float) { return x > 0 ? 1.0f : alpha; });
 }
 
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::tanh(x); },
+      a, "Tanh", [](float x) { return std::tanh(x); },
       [](float, float y) { return 1.0f - y * y; });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      a, "Sigmoid", [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
       [](float, float y) { return y * (1.0f - y); });
 }
 
@@ -490,7 +639,7 @@ Tensor Gelu(const Tensor& a) {
   constexpr float kInvSqrt2 = 0.7071067811865475f;
   constexpr float kInvSqrt2Pi = 0.3989422804014327f;
   return UnaryOp(
-      a,
+      a, "Gelu",
       [](float x) { return 0.5f * x * (1.0f + std::erf(x * kInvSqrt2)); },
       [](float x, float) {
         const float cdf = 0.5f * (1.0f + std::erf(x * kInvSqrt2));
@@ -501,13 +650,13 @@ Tensor Gelu(const Tensor& a) {
 
 Tensor Exp(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::exp(x); },
+      a, "Exp", [](float x) { return std::exp(x); },
       [](float, float y) { return y; });
 }
 
 Tensor Log(const Tensor& a) {
   return UnaryOp(
-      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      a, "Log", [](float x) { return std::log(std::max(x, 1e-12f)); },
       [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
 }
 
@@ -517,6 +666,16 @@ Tensor Sum(const Tensor& a) {
   float total = 0.0f;
   for (float v : a.data()) total += v;
   out.data()[0] = total;
+  if (Capturing()) {
+    const size_t n = a.data().size();
+    graph::Record(out, {a}, "Sum",
+                  [n](const float* const* in, float* const*, float* op,
+                      ThreadPool*) {
+                    float total = 0.0f;
+                    for (size_t i = 0; i < n; ++i) total += in[0][i];
+                    op[0] = total;
+                  });
+  }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi]() {
@@ -538,6 +697,14 @@ Tensor SumRows(const Tensor& a) {
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode({1, cols}, rg, {a});
   kernels::ColSumAccumulate(rows, cols, a.data().data(), out.data().data());
+  if (Capturing()) {
+    graph::Record(out, {a}, "SumRows",
+                  [rows, cols](const float* const* in, float* const*,
+                               float* op, ThreadPool*) {
+                    std::fill(op, op + cols, 0.0f);
+                    kernels::ColSumAccumulate(rows, cols, in[0], op);
+                  });
+  }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, rows, cols]() {
@@ -561,6 +728,13 @@ Tensor Softmax(const Tensor& a) {
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
   kernels::SoftmaxRows(rows, cols, a.data().data(), out.data().data());
+  if (Capturing()) {
+    graph::Record(out, {a}, "Softmax",
+                  [rows, cols](const float* const* in, float* const*,
+                               float* op, ThreadPool* pool) {
+                    kernels::ParallelSoftmaxRows(pool, rows, cols, in[0], op);
+                  });
+  }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, rows, cols]() {
@@ -594,6 +768,17 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                            out.data().data(), xhat.data(), inv_std.data());
     pool.Release(std::move(xhat));
     pool.Release(std::move(inv_std));
+    if (Capturing()) {
+      graph::Record(
+          out, {x, gamma, beta}, "LayerNorm",
+          [rows, cols, eps](const float* const* in, float* const* scratch,
+                            float* op, ThreadPool* pool) {
+            kernels::ParallelLayerNormRows(pool, rows, cols, eps, in[0],
+                                           in[1], in[2], op, scratch[0],
+                                           scratch[1]);
+          },
+          {x.data().size(), static_cast<size_t>(rows)});
+    }
     return out;
   }
   // Cache per-row inverse stddev and normalized values for backward.
@@ -654,6 +839,18 @@ Tensor LinearOp(const Tensor& x, const Tensor& w, const Tensor& bias) {
   if (has_bias) {
     kernels::AddBiasRows(m, n, bias.data().data(), out.data().data());
   }
+  if (Capturing()) {
+    std::vector<Tensor> rec_inputs = {x, w};
+    if (has_bias) rec_inputs.push_back(bias);
+    graph::Record(out, rec_inputs, "Linear",
+                  [m, n, k, has_bias](const float* const* in, float* const*,
+                                      float* op, ThreadPool* pool) {
+                    std::fill(op, op + static_cast<size_t>(m) * n, 0.0f);
+                    kernels::ParallelGemmNN(pool, m, n, k, 1.0f, in[0], in[1],
+                                            op);
+                    if (has_bias) kernels::AddBiasRows(m, n, in[2], op);
+                  });
+  }
   if (rg) {
     Impl xi = x.impl().get(), wi = w.impl().get(), oi = out.impl().get();
     Impl bi = has_bias ? bias.impl().get() : nullptr;
@@ -709,6 +906,23 @@ Tensor AttentionScores(const Tensor& q, const Tensor& k, float scale,
     kernels::Accumulate(out.data().size(), mask.data().data(), od);
   }
   kernels::SoftmaxRows(lq, lk, od, od);
+  if (Capturing()) {
+    std::vector<Tensor> rec_inputs = {q, k};
+    if (has_mask) rec_inputs.push_back(mask);
+    graph::Record(out, rec_inputs, "AttentionScores",
+                  [lq, lk, d, scale, has_mask](const float* const* in,
+                                               float* const*, float* op,
+                                               ThreadPool* pool) {
+                    std::fill(op, op + static_cast<size_t>(lq) * lk, 0.0f);
+                    kernels::ParallelGemmNT(pool, lq, lk, d, scale, in[0],
+                                            in[1], op);
+                    if (has_mask) {
+                      kernels::Accumulate(static_cast<size_t>(lq) * lk, in[2],
+                                          op);
+                    }
+                    kernels::ParallelSoftmaxRows(pool, lq, lk, op, op);
+                  });
+  }
   if (rg) {
     Impl qi = q.impl().get(), ki = k.impl().get(), oi = out.impl().get();
     Impl mi = has_mask ? mask.impl().get() : nullptr;

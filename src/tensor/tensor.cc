@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "core/logging.h"
+#include "tensor/graph.h"
 
 namespace hiergat {
 
@@ -133,6 +134,9 @@ void Tensor::ZeroGrad() {
 }
 
 Tensor Tensor::Detach() const {
+  // A detached copy freezes per-replay data as if it were constant, so
+  // a trace that detaches cannot be replayed faithfully.
+  graph::OnUnsupported("Detach during graph capture");
   auto impl = std::make_shared<internal_tensor::TensorImpl>();
   impl->shape = impl_->shape;
   impl->storage = internal_tensor::AcquireStorage(impl_->data().size());
@@ -179,6 +183,7 @@ Tensor Tensor::MakeNode(Shape shape, bool requires_grad,
     impl->parents.reserve(parents.size());
     for (const Tensor& p : parents) impl->parents.push_back(p.impl());
   }
+  graph::OnTensorCreated(impl);
   return Tensor(std::move(impl));
 }
 
@@ -191,6 +196,7 @@ Tensor Tensor::MakeAlias(Shape shape, bool requires_grad,
   impl->storage = parent.impl()->storage;  // Shared buffer, no copy.
   impl->requires_grad = requires_grad && g_grad_mode_enabled;
   if (impl->requires_grad) impl->parents.push_back(parent.impl());
+  graph::OnTensorCreated(impl);
   return Tensor(std::move(impl));
 }
 

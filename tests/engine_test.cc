@@ -6,6 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <string>
+#include <thread>
 
 #include "data/synthetic.h"
 #include "er/baselines/deepmatcher.h"
@@ -85,25 +88,71 @@ TEST(SummaryCacheTest, MemoizesByKeyAndClears) {
   EXPECT_EQ(computes.load(), 3) << "Clear must drop entries";
 }
 
-TEST(SummaryCacheTest, CapacityFlushBoundsSizeAndStaysCorrect) {
-  SummaryCache cache(/*max_entries=*/2);
+TEST(SummaryCacheTest, CapacityEvictionBoundsSizeAndStaysCorrect) {
+  SummaryCache cache(/*max_entries=*/4);
   auto make = [](float v) {
     return [v] { return Tensor::Full({1, 2}, v); };
   };
-  cache.GetOrCompute("a", make(1.0f));
-  cache.GetOrCompute("b", make(2.0f));
-  EXPECT_EQ(cache.size(), 2u);
+  for (int i = 0; i < 4; ++i) {
+    cache.GetOrCompute(std::string(1, static_cast<char>('a' + i)),
+                       make(static_cast<float>(i)));
+  }
+  EXPECT_EQ(cache.size(), 4u);
 
-  // Third distinct key flushes the full table, then inserts.
-  Tensor c = cache.GetOrCompute("c", make(3.0f));
-  EXPECT_EQ(cache.size(), 1u);
+  // Fifth distinct key triggers segmented eviction: down to half
+  // capacity (2 survivors), then the insert — not a full flush.
+  Tensor e = cache.GetOrCompute("e", make(9.0f));
+  EXPECT_EQ(cache.size(), 3u);
   EXPECT_EQ(cache.stats().evictions, 2);
-  EXPECT_EQ(c.data()[0], 3.0f);
+  EXPECT_EQ(e.data()[0], 9.0f);
 
   // Evicted keys are simply recomputed with identical values.
-  Tensor a = cache.GetOrCompute("a", make(1.0f));
-  EXPECT_EQ(a.data()[0], 1.0f);
-  EXPECT_LE(cache.size(), 2u);
+  Tensor a = cache.GetOrCompute("a", make(0.0f));
+  EXPECT_EQ(a.data()[0], 0.0f);
+  EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(SummaryCacheTest, SegmentedEvictionBeatsFullFlushHitRate) {
+  // Cycle a working set slightly larger than capacity. A full flush
+  // would drop the whole table at every capacity event, so nearly every
+  // repeat access misses; segmented eviction keeps half the table and
+  // must strictly beat the simulated full-flush hit count on the same
+  // trace.
+  constexpr int kCapacity = 8;
+  constexpr int kKeys = kCapacity + 2;
+  constexpr int kRounds = 6;
+  SummaryCache cache(/*max_entries=*/kCapacity);
+
+  // Reference: the old flush-everything policy, simulated exactly.
+  std::set<std::string> full_flush;
+  int64_t full_flush_hits = 0;
+
+  for (int round = 0; round < kRounds; ++round) {
+    for (int k = 0; k < kKeys; ++k) {
+      const std::string key = "k" + std::to_string(k);
+      cache.GetOrCompute(key, [] { return Tensor::Full({1, 2}, 1.0f); });
+      if (full_flush.count(key)) {
+        ++full_flush_hits;
+      } else {
+        if (full_flush.size() >= kCapacity) full_flush.clear();
+        full_flush.insert(key);
+      }
+    }
+  }
+  EXPECT_LE(cache.size(), static_cast<size_t>(kCapacity));
+  EXPECT_GT(cache.stats().hits, full_flush_hits);
+}
+
+TEST(SummaryCacheTest, SetMaxEntriesShrinksImmediately) {
+  SummaryCache cache(/*max_entries=*/8);
+  for (int i = 0; i < 8; ++i) {
+    cache.GetOrCompute("k" + std::to_string(i),
+                       [] { return Tensor::Full({1, 2}, 1.0f); });
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  cache.set_max_entries(3);
+  EXPECT_EQ(cache.max_entries(), 3u);
+  EXPECT_EQ(cache.size(), 3u);
 }
 
 TEST(SummaryCacheTest, CachedTensorsAreDetached) {
@@ -269,6 +318,86 @@ TEST_F(EngineParityTest, RepeatedTinyJobsToleratStragglerWorkers) {
     ASSERT_EQ(batched.size(), 2u);
     EXPECT_EQ(batched[0], p0);
     EXPECT_EQ(batched[1], p1);
+  }
+}
+
+TEST_F(EngineParityTest, CompiledGraphScoringMatchesEagerBitwise) {
+  // ScoreBatch replays through compiled graphs by default; forcing the
+  // eager path must give bit-identical probabilities (replay is never
+  // allowed to be wrong, only absent — DESIGN.md §11).
+  hiergat_->InvalidateInferenceCache();
+  obs::Counter& compiled_pairs = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.score.compiled_pairs");
+  const int64_t before = compiled_pairs.Value();
+  const std::vector<float> compiled = hiergat_->ScoreBatch(data_->test);
+  EXPECT_GT(compiled_pairs.Value(), before)
+      << "default ScoreBatch must take the compiled path";
+  const CompiledScoring::Stats stats = hiergat_->compiled_stats();
+  EXPECT_GT(stats.num_graphs, 0);
+
+  hiergat_->set_graph_compile_enabled(false);
+  hiergat_->InvalidateInferenceCache();
+  const std::vector<float> eager = hiergat_->ScoreBatch(data_->test);
+  hiergat_->set_graph_compile_enabled(true);
+
+  ExpectBitIdentical(eager, compiled);
+}
+
+TEST_F(EngineParityTest, CompileScoringGraphAheadOfTime) {
+  hiergat_->InvalidateInferenceCache();
+  EXPECT_EQ(hiergat_->compiled_stats().num_graphs, 0);
+  const Status status = hiergat_->CompileScoringGraph({0, 3, 6});
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  const CompiledScoring::Stats stats = hiergat_->compiled_stats();
+  // Compare graph + one summarize graph per requested length.
+  EXPECT_EQ(stats.num_graphs, 4);
+  EXPECT_EQ(stats.num_failed, 0);
+  // The planner must fold intermediates into shared arena slots well
+  // below the eager sum (ISSUE acceptance: < 50%).
+  EXPECT_GT(stats.plan_bytes, 0u);
+  EXPECT_LT(stats.plan_bytes, stats.eager_bytes / 2)
+      << "arena plan should reuse buffers across live ranges";
+}
+
+TEST_F(EngineParityTest, ConcurrentCompiledScoringIsThreadSafe) {
+  // Several engine workers replay the same shared compiled graphs; run
+  // under TSan (engine label) this is the data-race canary for the
+  // capture/replay layer.
+  hiergat_->InvalidateInferenceCache();
+  EngineOptions options;
+  options.num_threads = 4;
+  options.min_grain = 2;
+  InferenceEngine engine(options);
+  const std::vector<float> sequential =
+      SequentialScores(*hiergat_, data_->test);
+  for (int iter = 0; iter < 3; ++iter) {
+    const std::vector<float> pooled = engine.Score(*hiergat_, data_->test);
+    ExpectBitIdentical(sequential, pooled);
+  }
+}
+
+TEST_F(EngineParityTest, QueueDepthLimitAdmitsAndCompletesAllJobs) {
+  EngineOptions options;
+  options.num_threads = 2;
+  options.max_queue_depth = 1;
+  InferenceEngine engine(options);
+  const std::span<const EntityPair> pairs(data_->test.data(), 8);
+  const std::vector<float> baseline = engine.Score(*magellan_, pairs);
+
+  // Four caller threads contend for a queue that admits one job at a
+  // time; every job must still complete with identical results.
+  std::vector<std::thread> callers;
+  std::vector<std::vector<float>> results(4);
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&, t] {
+      for (int iter = 0; iter < 5; ++iter) {
+        results[static_cast<size_t>(t)] = engine.Score(*magellan_, pairs);
+      }
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  for (const std::vector<float>& result : results) {
+    ExpectBitIdentical(baseline, result);
   }
 }
 

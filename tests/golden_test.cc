@@ -77,6 +77,47 @@ TEST(GoldenTest, HierGatPlusFixtureReproducesScores) {
   ExpectScoresNear(scores, golden_or.value(), 1e-5f);
 }
 
+TEST(GoldenTest, HierGatCompiledPathMatchesEagerOnFixture) {
+  // Acceptance for the compiled scoring graphs (DESIGN.md §11): replay
+  // through the planned arena must reproduce the eager scores on the
+  // golden fixture to 1e-5 — and in fact bit-exactly, since replay
+  // uses the same kernels in the same accumulation order.
+  HierGatModel model;
+  ASSERT_TRUE(model.Load(FixturePath(golden::kHierGatCheckpoint)).ok());
+  const PairDataset data = golden::MakePairDataset();
+  const std::vector<EntityPair> probes = golden::ProbePairs(data);
+
+  const std::vector<float> compiled = model.ScoreBatch(probes);
+  EXPECT_GT(model.compiled_stats().num_graphs, 0)
+      << "default scoring must have compiled graphs";
+
+  model.set_graph_compile_enabled(false);
+  model.InvalidateInferenceCache();
+  const std::vector<float> eager = model.ScoreBatch(probes);
+
+  ExpectScoresNear(compiled, eager, 1e-5f);
+  EXPECT_EQ(compiled, eager) << "replay should be bit-exact, not just close";
+}
+
+TEST(GoldenTest, HierGatPlusCompiledPathMatchesEagerOnFixture) {
+  HierGatPlusModel model;
+  ASSERT_TRUE(
+      model.Load(FixturePath(golden::kHierGatPlusCheckpoint)).ok());
+  const CollectiveDataset data = golden::MakeCollectiveDataset();
+  const std::vector<CollectiveQuery> probes = golden::ProbeQueries(data);
+
+  const std::vector<float> compiled = golden::ScoreQueries(model, probes);
+  EXPECT_GT(model.compiled_stats().num_graphs, 0);
+
+  model.set_graph_compile_enabled(false);
+  model.InvalidateInferenceCache();
+  const std::vector<float> eager = golden::ScoreQueries(model, probes);
+
+  ASSERT_EQ(compiled.size(), eager.size());
+  ExpectScoresNear(compiled, eager, 1e-5f);
+  EXPECT_EQ(compiled, eager);
+}
+
 TEST(GoldenTest, HierGatSaveLoadSaveIsByteStable) {
   HierGatModel first;
   ASSERT_TRUE(

@@ -1,0 +1,159 @@
+// Tests for er::Session — the unified Open/Train/Score/SaveCheckpoint
+// facade. A session must behave exactly like the hand-wired
+// model+engine it replaces: same scores, checkpoint round-trips to
+// identical probabilities, and the inference options (graph compile,
+// cache cap) actually reach the model.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "er/er.h"
+
+namespace hiergat {
+namespace {
+
+PairDataset SmallDataset(uint64_t seed = 417) {
+  SyntheticSpec spec;
+  spec.name = "session";
+  spec.num_pairs = 60;
+  spec.positive_ratio = 0.3f;
+  spec.num_attributes = 3;
+  spec.hardness = 0.4f;
+  spec.noise = 0.05f;
+  spec.desc_len = 6;
+  spec.seed = seed;
+  return GeneratePairDataset(spec);
+}
+
+TrainOptions TinyOptions() {
+  TrainOptions options;
+  options.epochs = 1;
+  options.lr = 2e-3f;
+  options.batch_size = 16;
+  options.seed = 11;
+  options.verbose = false;
+  return options;
+}
+
+SessionOptions TinySessionOptions() {
+  SessionOptions options;
+  options.matcher = "hiergat";
+  options.lm_size = LmSize::kSmall;
+  options.lm_pretrain_steps = 0;
+  options.engine.num_threads = 2;
+  return options;
+}
+
+std::string TempCheckpointPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SessionTest, UnknownMatcherNameIsAnError) {
+  SessionOptions options;
+  options.matcher = "definitely-not-a-matcher";
+  auto session_or = Session::Open(options);
+  EXPECT_FALSE(session_or.ok());
+  EXPECT_EQ(session_or.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, WrongKindTrainIsFailedPrecondition) {
+  auto session_or = Session::Open(TinySessionOptions());
+  ASSERT_TRUE(session_or.ok()) << session_or.status().ToString();
+  std::unique_ptr<Session> session = std::move(session_or).value();
+  EXPECT_FALSE(session->collective());
+  EXPECT_NE(session->model(), nullptr);
+  EXPECT_EQ(session->collective_model(), nullptr);
+
+  CollectiveDataset collective;
+  const Status status = session->Train(collective, TinyOptions());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, CheckpointRoundTripsToIdenticalProbeScores) {
+  const PairDataset data = SmallDataset();
+
+  auto session_or = Session::Open(TinySessionOptions());
+  ASSERT_TRUE(session_or.ok()) << session_or.status().ToString();
+  std::unique_ptr<Session> session = std::move(session_or).value();
+  ASSERT_TRUE(session->Train(data, TinyOptions()).ok());
+
+  const std::vector<float> trained = session->Score(data.test);
+  ASSERT_EQ(trained.size(), data.test.size());
+
+  const std::string path = TempCheckpointPath("session_roundtrip.ckpt");
+  ASSERT_TRUE(session->SaveCheckpoint(path).ok());
+
+  SessionOptions reload = TinySessionOptions();
+  reload.checkpoint_path = path;
+  auto loaded_or = Session::Open(reload);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  std::unique_ptr<Session> loaded = std::move(loaded_or).value();
+
+  const std::vector<float> restored = loaded->Score(data.test);
+  ASSERT_EQ(restored.size(), trained.size());
+  for (size_t i = 0; i < trained.size(); ++i) {
+    EXPECT_EQ(trained[i], restored[i]) << "probe pair " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SessionTest, GraphCompileToggleKeepsScoresBitIdentical) {
+  const PairDataset data = SmallDataset(902);
+
+  auto session_or = Session::Open(TinySessionOptions());
+  ASSERT_TRUE(session_or.ok());
+  std::unique_ptr<Session> session = std::move(session_or).value();
+  ASSERT_TRUE(session->Train(data, TinyOptions()).ok());
+  const std::vector<float> compiled = session->Score(data.test);
+
+  SessionOptions eager_options = TinySessionOptions();
+  eager_options.enable_graph_compile = false;
+  const std::string path = TempCheckpointPath("session_eager.ckpt");
+  ASSERT_TRUE(session->SaveCheckpoint(path).ok());
+  eager_options.checkpoint_path = path;
+  auto eager_or = Session::Open(eager_options);
+  ASSERT_TRUE(eager_or.ok());
+  const std::vector<float> eager = std::move(eager_or).value()->Score(
+      data.test);
+
+  ASSERT_EQ(compiled.size(), eager.size());
+  for (size_t i = 0; i < compiled.size(); ++i) {
+    EXPECT_EQ(compiled[i], eager[i]) << "probe pair " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SessionTest, SummaryCacheCapacityReachesTheModel) {
+  SessionOptions options = TinySessionOptions();
+  options.summary_cache_capacity = 7;
+  auto session_or = Session::Open(options);
+  ASSERT_TRUE(session_or.ok());
+  std::unique_ptr<Session> session = std::move(session_or).value();
+  auto* hiergat = dynamic_cast<HierGatModel*>(session->model());
+  ASSERT_NE(hiergat, nullptr);
+  EXPECT_EQ(hiergat->summary_cache().max_entries(), 7u);
+}
+
+TEST(SessionTest, EvaluateMatchesScoreDerivedMetrics) {
+  const PairDataset data = SmallDataset(73);
+  auto session_or = Session::Open(TinySessionOptions());
+  ASSERT_TRUE(session_or.ok());
+  std::unique_ptr<Session> session = std::move(session_or).value();
+  ASSERT_TRUE(session->Train(data, TinyOptions()).ok());
+
+  const std::vector<float> probs = session->Score(data.test);
+  std::vector<int> labels;
+  for (const EntityPair& pair : data.test) labels.push_back(pair.label);
+  const EvalResult expected = ComputeMetrics(probs, labels);
+  const EvalResult actual = session->Evaluate(data.test);
+  EXPECT_EQ(expected.f1, actual.f1);
+  EXPECT_EQ(expected.precision, actual.precision);
+  EXPECT_EQ(expected.recall, actual.recall);
+}
+
+}  // namespace
+}  // namespace hiergat

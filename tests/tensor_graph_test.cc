@@ -1,0 +1,418 @@
+#include "tensor/graph.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/status.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "tensor/threadpool.h"
+
+namespace hiergat {
+namespace {
+
+std::vector<float> Iota(int n, float start = 0.0f, float step = 0.125f) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) v[static_cast<size_t>(i)] = start + step * i;
+  return v;
+}
+
+// Captures `build` over a single [rows, cols] input and returns the
+// compiled graph, asserting the capture succeeded.
+template <typename BuildFn>
+std::unique_ptr<graph::CompiledGraph> CompileUnary(int rows, int cols,
+                                                   BuildFn build) {
+  NoGradGuard no_grad;
+  Tensor x = Tensor::FromVector({rows, cols}, Iota(rows * cols, 0.3f));
+  graph::GraphCapture capture;
+  capture.MarkInput(x);
+  Tensor y = build(x);
+  capture.MarkOutput(y);
+  auto compiled = capture.Finish();
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return std::move(compiled).value();
+}
+
+TEST(TensorGraphTest, UnaryChainReplaysBitwise) {
+  NoGradGuard no_grad;
+  auto compiled = CompileUnary(
+      4, 8, [](const Tensor& x) { return Tanh(Sigmoid(Scale(x, 0.5f))); });
+  ASSERT_EQ(compiled->num_inputs(), 1);
+  ASSERT_EQ(compiled->num_outputs(), 1);
+
+  Tensor x = Tensor::FromVector({4, 8}, Iota(32, -1.7f, 0.21f));
+  Tensor want = Tanh(Sigmoid(Scale(x, 0.5f)));
+  std::vector<float> got(32);
+  const float* in[] = {x.data().data()};
+  float* out[] = {got.data()};
+  compiled->Run(in, out, nullptr);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              want.data()[static_cast<size_t>(i)])
+        << "element " << i << " not bit-identical";
+  }
+}
+
+TEST(TensorGraphTest, LinearLayerNormReplaysBitwise) {
+  NoGradGuard no_grad;
+  Rng rng(7);
+  Tensor w = Tensor::Randn({8, 6}, rng);
+  Tensor b = Tensor::Randn({6}, rng);
+  Tensor gamma = Tensor::Full({6}, 1.1f);
+  Tensor beta = Tensor::Full({6}, -0.2f);
+  auto fwd = [&](const Tensor& x) {
+    return LayerNorm(Relu(LinearOp(x, w, b)), gamma, beta);
+  };
+  auto compiled = CompileUnary(5, 8, fwd);
+
+  Tensor x = Tensor::FromVector({5, 8}, Iota(40, 0.9f, -0.07f));
+  Tensor want = fwd(x);
+  std::vector<float> got(30);
+  const float* in[] = {x.data().data()};
+  float* out[] = {got.data()};
+  compiled->Run(in, out, &ThreadPool::Global());
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              want.data()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(TensorGraphTest, AttentionScoresReplayBitwise) {
+  NoGradGuard no_grad;
+  Rng rng(11);
+  Tensor k = Tensor::Randn({6, 4}, rng);
+  Tensor mask = Tensor::Zeros({3, 6});
+  mask.data()[1] = -1e9f;
+  auto fwd = [&](const Tensor& q) {
+    return AttentionScores(q, k, 0.5f, mask);
+  };
+  auto compiled = CompileUnary(3, 4, fwd);
+
+  Tensor q = Tensor::Randn({3, 4}, rng);
+  Tensor want = fwd(q);
+  std::vector<float> got(18);
+  const float* in[] = {q.data().data()};
+  float* out[] = {got.data()};
+  compiled->Run(in, out, nullptr);
+  for (int i = 0; i < 18; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              want.data()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(TensorGraphTest, LeafOnlySubgraphFoldsToConstant) {
+  NoGradGuard no_grad;
+  Rng rng(3);
+  Tensor w1 = Tensor::Randn({4, 4}, rng);
+  Tensor w2 = Tensor::Randn({4, 4}, rng);
+  auto compiled = CompileUnary(4, 4, [&](const Tensor& x) {
+    // MatMul(w1, w2) sees only leaves: it must fold at capture, leaving
+    // a single Add node at replay.
+    return Add(x, MatMul(w1, w2));
+  });
+  EXPECT_GE(compiled->stats().num_folded, 1);
+  EXPECT_EQ(compiled->stats().num_nodes, 1);
+
+  Tensor x = Tensor::FromVector({4, 4}, Iota(16, 2.0f));
+  Tensor want = Add(x, MatMul(w1, w2));
+  std::vector<float> got(16);
+  const float* in[] = {x.data().data()};
+  float* out[] = {got.data()};
+  compiled->Run(in, out, nullptr);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              want.data()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(TensorGraphTest, FullyConstantGraphHasNoNodes) {
+  NoGradGuard no_grad;
+  Rng rng(9);
+  Tensor w = Tensor::Randn({3, 5}, rng);
+  Tensor want = Tanh(Scale(w, 0.25f));
+
+  graph::GraphCapture capture;
+  Tensor y = Tanh(Scale(w, 0.25f));
+  capture.MarkOutput(y);
+  auto compiled_or = capture.Finish();
+  ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+  auto compiled = std::move(compiled_or).value();
+
+  EXPECT_EQ(compiled->num_inputs(), 0);
+  EXPECT_EQ(compiled->stats().num_nodes, 0);
+  EXPECT_EQ(compiled->stats().plan_bytes, 0u);
+
+  std::vector<float> got(15);
+  float* out[] = {got.data()};
+  compiled->Run(nullptr, out, nullptr);
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              want.data()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(TensorGraphTest, LeafParametersAreResolvedLive) {
+  NoGradGuard no_grad;
+  Tensor w = Tensor::FromVector({2, 3}, Iota(6, 1.0f, 1.0f));
+  auto compiled = CompileUnary(2, 3, [&](const Tensor& x) {
+    // Add(x, w) mixes an input with a leaf, so w cannot fold: the
+    // compiled graph must read w's buffer at every replay.
+    return Add(x, w);
+  });
+
+  Tensor x = Tensor::FromVector({2, 3}, Iota(6, 10.0f, 10.0f));
+  std::vector<float> got(6);
+  const float* in[] = {x.data().data()};
+  float* out[] = {got.data()};
+  compiled->Run(in, out, nullptr);
+  EXPECT_EQ(got[0], 11.0f);
+
+  w.data()[0] = 100.0f;  // In-place parameter edit.
+  compiled->Run(in, out, nullptr);
+  EXPECT_EQ(got[0], 110.0f) << "leaf edit not visible at replay";
+}
+
+TEST(TensorGraphTest, SlicesAndReshapesBecomeViews) {
+  NoGradGuard no_grad;
+  auto compiled = CompileUnary(6, 4, [](const Tensor& x) {
+    Tensor top = SliceRows(x, 1, 4);    // View at offset 4 floats.
+    Tensor flat = Flatten(top);         // View of a view.
+    return Mul(flat, flat);
+  });
+  EXPECT_GE(compiled->stats().num_views, 2);
+  EXPECT_EQ(compiled->stats().num_nodes, 1);  // Only the Mul executes.
+
+  Tensor x = Tensor::FromVector({6, 4}, Iota(24, 0.5f));
+  Tensor want = [&] {
+    Tensor top = SliceRows(x, 1, 4);
+    Tensor flat = Flatten(top);
+    return Mul(flat, flat);
+  }();
+  std::vector<float> got(12);
+  const float* in[] = {x.data().data()};
+  float* out[] = {got.data()};
+  compiled->Run(in, out, nullptr);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              want.data()[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(TensorGraphTest, OutputMayBeAViewOfAnInput) {
+  NoGradGuard no_grad;
+  auto compiled =
+      CompileUnary(4, 3, [](const Tensor& x) { return SliceRows(x, 2, 4); });
+  EXPECT_EQ(compiled->stats().num_nodes, 0);
+
+  Tensor x = Tensor::FromVector({4, 3}, Iota(12, 1.0f, 1.0f));
+  std::vector<float> got(6);
+  const float* in[] = {x.data().data()};
+  float* out[] = {got.data()};
+  compiled->Run(in, out, nullptr);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)], 7.0f + i);
+  }
+}
+
+TEST(TensorGraphTest, PlannerReusesArenaSlots) {
+  NoGradGuard no_grad;
+  // A straight chain only ever has two values live at once, so the
+  // packed arena must be well under the eager sum of all six
+  // intermediates.
+  auto compiled = CompileUnary(16, 16, [](const Tensor& x) {
+    Tensor y = x;
+    for (int i = 0; i < 6; ++i) y = Tanh(Scale(y, 0.9f));
+    return y;
+  });
+  const graph::PlanStats& stats = compiled->stats();
+  EXPECT_EQ(stats.num_nodes, 12);
+  EXPECT_GT(stats.plan_bytes, 0u);
+  EXPECT_LT(stats.plan_bytes, stats.eager_bytes / 2);
+}
+
+TEST(TensorGraphTest, NoTwoLiveValuesShareArenaBytes) {
+  NoGradGuard no_grad;
+  Rng rng(13);
+  Tensor w = Tensor::Randn({12, 12}, rng);
+  auto compiled = CompileUnary(9, 12, [&](const Tensor& x) {
+    // Diamond shape keeps several values live at once.
+    Tensor h = Relu(LinearOp(x, w));
+    Tensor a = Softmax(h);
+    Tensor b = Sigmoid(h);
+    Tensor c = ConcatCols({a, b});
+    return Add(Mul(a, b), SliceCols(c, 3, 15));
+  });
+  const auto& plan = compiled->plan();
+  ASSERT_FALSE(plan.empty());
+  for (size_t i = 0; i < plan.size(); ++i) {
+    for (size_t j = i + 1; j < plan.size(); ++j) {
+      const auto& p = plan[i];
+      const auto& q = plan[j];
+      const bool live_overlap = p.def_node <= q.last_use_node &&
+                                q.def_node <= p.last_use_node;
+      if (!live_overlap) continue;
+      const bool bytes_overlap =
+          p.offset_floats < q.offset_floats + q.size_floats &&
+          q.offset_floats < p.offset_floats + p.size_floats;
+      EXPECT_FALSE(bytes_overlap)
+          << "values " << i << " and " << j << " are both live in ["
+          << std::max(p.def_node, q.def_node) << ", "
+          << std::min(p.last_use_node, q.last_use_node)
+          << "] yet share arena bytes";
+    }
+  }
+}
+
+TEST(TensorGraphTest, DetachPoisonsCapture) {
+  NoGradGuard no_grad;
+  Tensor x = Tensor::FromVector({2, 2}, Iota(4));
+  graph::GraphCapture capture;
+  capture.MarkInput(x);
+  Tensor y = Relu(x).Detach();
+  Tensor z = Scale(y, 2.0f);
+  capture.MarkOutput(z);
+  EXPECT_FALSE(capture.ok());
+  auto compiled = capture.Finish();
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kUnimplemented);
+  // Eager execution during the poisoned capture stayed correct.
+  EXPECT_EQ(z.data()[3], Iota(4)[3] * 2.0f);
+}
+
+TEST(TensorGraphTest, UnrecordedOpPoisonsCapture) {
+  Tensor x = Tensor::FromVector({2, 3}, Iota(6), /*requires_grad=*/false);
+  Rng rng(1);
+  graph::GraphCapture capture;
+  capture.MarkInput(x);
+  // Training-mode Dropout has no replay closure (fresh randomness per
+  // call): its output never passes through Record, so Finish must
+  // refuse rather than replay a frozen mask.
+  Tensor y = Dropout(x, 0.5f, rng, /*training=*/true);
+  capture.MarkOutput(y);
+  auto compiled = capture.Finish();
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(TensorGraphTest, RepeatedReplayMatchesEagerEachTime) {
+  NoGradGuard no_grad;
+  Rng rng(21);
+  Tensor w = Tensor::Randn({6, 6}, rng);
+  auto fwd = [&](const Tensor& x) {
+    return Softmax(MatMul(Gelu(x), w));
+  };
+  auto compiled = CompileUnary(3, 6, fwd);
+
+  for (int rep = 0; rep < 5; ++rep) {
+    Tensor x = Tensor::Randn({3, 6}, rng);
+    Tensor want = fwd(x);
+    std::vector<float> got(18);
+    const float* in[] = {x.data().data()};
+    float* out[] = {got.data()};
+    compiled->Run(in, out, nullptr);
+    for (int i = 0; i < 18; ++i) {
+      EXPECT_EQ(got[static_cast<size_t>(i)],
+                want.data()[static_cast<size_t>(i)])
+          << "rep " << rep << " element " << i;
+    }
+  }
+}
+
+TEST(TensorGraphTest, ConcurrentReplayIsThreadSafe) {
+  NoGradGuard no_grad;
+  Rng rng(33);
+  Tensor w = Tensor::Randn({8, 8}, rng);
+  Tensor b = Tensor::Randn({8}, rng);
+  auto fwd = [&](const Tensor& x) {
+    return Sigmoid(LinearOp(Relu(x), w, b));
+  };
+  auto compiled = CompileUnary(4, 8, fwd);
+
+  Tensor x = Tensor::FromVector({4, 8}, Iota(32, -0.8f, 0.11f));
+  Tensor want = fwd(x);
+
+  constexpr int kThreads = 4;
+  constexpr int kReps = 50;
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      std::vector<float> got(32);
+      const float* in[] = {x.data().data()};
+      float* out[] = {got.data()};
+      for (int rep = 0; rep < kReps; ++rep) {
+        compiled->Run(in, out, nullptr);
+        for (int i = 0; i < 32; ++i) {
+          if (got[static_cast<size_t>(i)] !=
+              want.data()[static_cast<size_t>(i)]) {
+            ++mismatches[static_cast<size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<size_t>(t)], 0) << "thread " << t;
+  }
+}
+
+TEST(TensorGraphTest, MultipleInputsAndOutputsKeepOrder) {
+  NoGradGuard no_grad;
+  Tensor a = Tensor::FromVector({2, 2}, Iota(4, 1.0f, 1.0f));
+  Tensor b = Tensor::FromVector({2, 2}, Iota(4, 10.0f, 10.0f));
+  graph::GraphCapture capture;
+  capture.MarkInput(a);
+  capture.MarkInput(b);
+  Tensor sum = Add(a, b);
+  Tensor prod = Mul(a, b);
+  capture.MarkOutput(sum);
+  capture.MarkOutput(prod);
+  auto compiled_or = capture.Finish();
+  ASSERT_TRUE(compiled_or.ok()) << compiled_or.status().ToString();
+  auto compiled = std::move(compiled_or).value();
+  ASSERT_EQ(compiled->num_inputs(), 2);
+  ASSERT_EQ(compiled->num_outputs(), 2);
+
+  std::vector<float> got_sum(4), got_prod(4);
+  const float* in[] = {a.data().data(), b.data().data()};
+  float* out[] = {got_sum.data(), got_prod.data()};
+  compiled->Run(in, out, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    const float av = a.data()[static_cast<size_t>(i)];
+    const float bv = b.data()[static_cast<size_t>(i)];
+    EXPECT_EQ(got_sum[static_cast<size_t>(i)], av + bv);
+    EXPECT_EQ(got_prod[static_cast<size_t>(i)], av * bv);
+  }
+}
+
+TEST(TensorGraphTest, GatherConcatPipelineReplays) {
+  NoGradGuard no_grad;
+  Tensor table = Tensor::FromVector({5, 3}, Iota(15, 0.0f, 1.0f));
+  auto fwd = [&](const Tensor& x) {
+    Tensor picked = GatherRows(table, {4, 0, 2});  // Leaf gather: foldable.
+    Tensor joined = ConcatRows({picked, x});
+    return MeanRows(joined);
+  };
+  auto compiled = CompileUnary(2, 3, fwd);
+  EXPECT_GE(compiled->stats().num_folded, 1);
+
+  Tensor x = Tensor::FromVector({2, 3}, Iota(6, -3.0f, 0.5f));
+  Tensor want = fwd(x);
+  std::vector<float> got(3);
+  const float* in[] = {x.data().data()};
+  float* out[] = {got.data()};
+  compiled->Run(in, out, nullptr);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[static_cast<size_t>(i)],
+              want.data()[static_cast<size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace hiergat
