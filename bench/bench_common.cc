@@ -76,6 +76,18 @@ void BenchResult::AddMetric(const std::string& key, double value) {
   metrics_.emplace_back(key, value);
 }
 
+void BenchResult::AddGraphNode(const std::string& name, int64_t replays,
+                               double seconds, double est_flops,
+                               double est_bytes) {
+  GraphNodeRow row;
+  row.name = name;
+  row.replays = replays;
+  row.seconds = seconds;
+  row.est_flops = est_flops;
+  row.est_bytes = est_bytes;
+  graph_nodes_.push_back(std::move(row));
+}
+
 void BenchResult::SetLatencies(const std::vector<double>& seconds) {
   if (seconds.empty()) return;
   repetitions_ = static_cast<int>(seconds.size());
@@ -105,8 +117,21 @@ std::string BenchResult::ToJson() const {
     out << (i ? ", " : "") << JsonQuote(metrics_[i].first) << ": "
         << JsonNumber(metrics_[i].second);
   }
-  out << "}\n";
-  out << "}\n";
+  out << "}";
+  if (!graph_nodes_.empty()) {
+    out << ",\n  \"graph_nodes\": [\n";
+    for (size_t i = 0; i < graph_nodes_.size(); ++i) {
+      const GraphNodeRow& row = graph_nodes_[i];
+      out << "    {\"name\": " << JsonQuote(row.name)
+          << ", \"replays\": " << row.replays
+          << ", \"seconds\": " << JsonNumber(row.seconds)
+          << ", \"est_flops\": " << JsonNumber(row.est_flops)
+          << ", \"est_bytes\": " << JsonNumber(row.est_bytes) << "}"
+          << (i + 1 < graph_nodes_.size() ? "," : "") << "\n";
+    }
+    out << "  ]";
+  }
+  out << "\n}\n";
   return out.str();
 }
 

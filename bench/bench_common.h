@@ -1,6 +1,7 @@
 #ifndef HIERGAT_BENCH_BENCH_COMMON_H_
 #define HIERGAT_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,7 +23,10 @@ namespace bench {
 ///     "repetitions": <int >= 1>,
 ///     "latency_seconds": { "p50": <num>, "p95": <num> },
 ///     "throughput_items_per_sec": <num>,
-///     "metrics": { "<key>": <num>, ... }
+///     "metrics": { "<key>": <num>, ... },
+///     "graph_nodes": [ { "name": <string>, "replays": <int>,
+///                        "seconds": <num>, "est_flops": <num>,
+///                        "est_bytes": <num> }, ... ]   // optional
 ///   }
 class BenchResult {
  public:
@@ -36,6 +40,11 @@ class BenchResult {
   /// Extra numeric results (F1 scores, cache hit rates, steal counts).
   void AddMetric(const std::string& key, double value);
 
+  /// Per-op cost accounting row (DESIGN.md §12); `seconds` is the sampled
+  /// replay wall time, zero when tracing was off for the run.
+  void AddGraphNode(const std::string& name, int64_t replays, double seconds,
+                    double est_flops, double est_bytes);
+
   /// Per-repetition wall times of the measured section; sets
   /// `repetitions` and the p50/p95 latency fields.
   void SetLatencies(const std::vector<double>& seconds);
@@ -45,10 +54,19 @@ class BenchResult {
   std::string ToJson() const;
 
  private:
+  struct GraphNodeRow {
+    std::string name;
+    int64_t replays = 0;
+    double seconds = 0.0;
+    double est_flops = 0.0;
+    double est_bytes = 0.0;
+  };
+
   std::string benchmark_;
   /// Values pre-rendered as JSON (quoted strings or bare numbers).
   std::vector<std::pair<std::string, std::string>> params_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<GraphNodeRow> graph_nodes_;
   int repetitions_ = 1;
   double p50_latency_seconds_ = 0.0;
   double p95_latency_seconds_ = 0.0;

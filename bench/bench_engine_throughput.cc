@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdio>
+#include <map>
 #include <set>
 #include <string>
 #include <utility>
@@ -16,6 +17,7 @@
 #include "data/synthetic.h"
 #include "er/engine.h"
 #include "er/hiergat.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 
@@ -256,6 +258,43 @@ int main_impl(int argc, char** argv) {
                      static_cast<double>(worker_stats[w].items));
     result.AddMetric(prefix + ".steals",
                      static_cast<double>(worker_stats[w].steals));
+  }
+
+  // Per-op cost accounting: the graph replay counters accumulate as
+  // "hiergat.graph.node.<op>.{replays,ns,est_flops,est_bytes}"; fold
+  // them back into per-op rows for the JSON (`seconds` stays 0 when the
+  // run never traced — the ns counter only ticks under an active trace).
+  {
+    struct NodeRow {
+      int64_t replays = 0;
+      double seconds = 0.0;
+      double est_flops = 0.0;
+      double est_bytes = 0.0;
+    };
+    static const char kNodePrefix[] = "hiergat.graph.node.";
+    std::map<std::string, NodeRow> rows;
+    for (const auto& [name, value] :
+         obs::MetricsRegistry::Global().CounterValues(kNodePrefix)) {
+      const std::string rest = name.substr(sizeof(kNodePrefix) - 1);
+      const size_t dot = rest.rfind('.');
+      if (dot == std::string::npos) continue;
+      const std::string op = rest.substr(0, dot);
+      const std::string field = rest.substr(dot + 1);
+      NodeRow& row = rows[op];
+      if (field == "replays") {
+        row.replays = value;
+      } else if (field == "ns") {
+        row.seconds = static_cast<double>(value) * 1e-9;
+      } else if (field == "est_flops") {
+        row.est_flops = static_cast<double>(value);
+      } else if (field == "est_bytes") {
+        row.est_bytes = static_cast<double>(value);
+      }
+    }
+    for (const auto& [op, row] : rows) {
+      result.AddGraphNode(op, row.replays, row.seconds, row.est_flops,
+                          row.est_bytes);
+    }
   }
   if (!bench::WriteBenchJson(bench::JsonOutPath(argc, argv), result)) {
     return 1;

@@ -1,12 +1,30 @@
 #ifndef HIERGAT_CORE_LOGGING_H_
 #define HIERGAT_CORE_LOGGING_H_
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
 
 namespace hiergat {
 namespace internal_logging {
+
+/// Called with the formatted diagnostic just before a failed HG_CHECK
+/// aborts. Core stays dependency-free: the hook slot lives here, and the
+/// observability layer (obs::FlightRecorder) installs a hook that dumps
+/// the recent-event ring so the crash report carries context. The hook
+/// must not throw and should be async-termination-safe (the process is
+/// about to abort).
+using FatalHook = void (*)(const char* message);
+
+inline std::atomic<FatalHook>& FatalHookSlot() {
+  static std::atomic<FatalHook> slot{nullptr};
+  return slot;
+}
+
+inline void SetFatalHook(FatalHook hook) {
+  FatalHookSlot().store(hook, std::memory_order_release);
+}
 
 /// Terminates the process after streaming a fatal diagnostic. Used by the
 /// HG_CHECK family for programming errors (invariant violations); for
@@ -18,7 +36,11 @@ class FatalMessage {
             << condition << " ";
   }
   [[noreturn]] ~FatalMessage() {
-    std::cerr << stream_.str() << std::endl;
+    const std::string message = stream_.str();
+    std::cerr << message << std::endl;
+    if (FatalHook hook = FatalHookSlot().load(std::memory_order_acquire)) {
+      hook(message.c_str());
+    }
     std::abort();
   }
   std::ostream& stream() { return stream_; }

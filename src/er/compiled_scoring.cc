@@ -6,6 +6,7 @@
 
 #include "core/logging.h"
 #include "nn/introspection.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -138,8 +139,13 @@ std::shared_ptr<graph::CompiledGraph> CompiledScoring::SummarizeGraph(
   if (built == nullptr) {
     summarize_failed_.insert(length);
     ++num_failed_;
+    obs::RecordFlightEvent(obs::FlightEventKind::kGraphCaptureFail,
+                           "summarize", length);
     return nullptr;
   }
+  obs::RecordFlightEvent(obs::FlightEventKind::kGraphCompile, "summarize",
+                         length,
+                         static_cast<int64_t>(built->stats().est_flops));
   summarize_.emplace(length, built);
   return built;
 }
@@ -152,8 +158,12 @@ std::shared_ptr<graph::CompiledGraph> CompiledScoring::CompareGraph() const {
   if (built == nullptr) {
     compare_failed_ = true;
     ++num_failed_;
+    obs::RecordFlightEvent(obs::FlightEventKind::kGraphCaptureFail,
+                           "compare");
     return nullptr;
   }
+  obs::RecordFlightEvent(obs::FlightEventKind::kGraphCompile, "compare", 0,
+                         static_cast<int64_t>(built->stats().est_flops));
   compare_ = built;
   return built;
 }
@@ -234,6 +244,12 @@ Status CompiledScoring::Compile(const std::vector<int>& attribute_lengths) {
 
 void CompiledScoring::Clear() {
   std::unique_lock<std::mutex> lock(mutex_);
+  const int64_t discarded = static_cast<int64_t>(summarize_.size()) +
+                            (compare_ != nullptr ? 1 : 0);
+  if (discarded > 0) {
+    obs::RecordFlightEvent(obs::FlightEventKind::kGraphInvalidate,
+                           "compiled_scoring", discarded);
+  }
   summarize_.clear();
   summarize_failed_.clear();
   compare_.reset();

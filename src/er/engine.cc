@@ -5,6 +5,7 @@
 #include <string>
 
 #include "nn/introspection.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/threadpool.h"
@@ -31,15 +32,30 @@ obs::Counter& StealsCounter() {
   return counter;
 }
 obs::Histogram& BatchSecondsHistogram() {
+  // Jobs run 100us (a handful of cached pairs) to tens of seconds (a
+  // full evaluation sweep): doubling buckets over 1e-4s .. ~13s.
   static obs::Histogram& histogram =
       obs::MetricsRegistry::Global().GetHistogram(
-          "hiergat.engine.batch_seconds");
+          "hiergat.engine.batch_seconds",
+          obs::Histogram::ExponentialBounds(1e-4, 2.0, 18));
   return histogram;
 }
 obs::Histogram& QueueWaitSecondsHistogram() {
+  // Queue waits are bimodal — ~1us uncontended lock acquisition or the
+  // length of whole queued jobs — so a steep x4 ladder over 1us .. ~4s
+  // resolves both ends with few buckets.
   static obs::Histogram& histogram =
       obs::MetricsRegistry::Global().GetHistogram(
-          "hiergat.engine.queue_wait_seconds");
+          "hiergat.engine.queue_wait_seconds",
+          obs::Histogram::ExponentialBounds(1e-6, 4.0, 12));
+  return histogram;
+}
+obs::Histogram& BatchItemsHistogram() {
+  // Job sizes in items (pairs/queries), 1 .. 32768 doubling.
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hiergat.engine.batch_items",
+          obs::Histogram::ExponentialBounds(1.0, 2.0, 16));
   return histogram;
 }
 obs::Gauge& QueueDepthGauge() {
@@ -166,9 +182,17 @@ void InferenceEngine::WorkerLoop(int worker_id) {
     // enter ProcessRanges, or it could claim ranges of a later job whose
     // accounting it never joined.
     if (!fn) continue;
+    const obs::TraceContext job_context = job_context_;
     ++active_workers_;
     lock.unlock();
-    const int processed = ProcessRanges(worker_id, fn);
+    int processed;
+    {
+      // Adopt the caller's request context: spans recorded while
+      // scoring (engine.ScoreRange, model spans, graph nodes) link to
+      // the request that dispatched this job.
+      obs::ScopedTraceContext context_guard(job_context);
+      processed = ProcessRanges(worker_id, fn);
+    }
     lock.lock();
     --active_workers_;
     done_items_ += processed;
@@ -216,6 +240,10 @@ int InferenceEngine::ProcessRanges(int worker_id,
 void InferenceEngine::RunJob(int total,
                              const std::function<void(int, int)>& process) {
   if (total <= 0) return;
+  // Each RunJob is one request: root a fresh trace context unless the
+  // caller already carries one (e.g. a server wrapping several engine
+  // calls in a single request context).
+  obs::ScopedTraceRoot trace_root;
   HG_TRACE_SPAN("InferenceEngine::RunJob");
   // One job at a time: Score/Evaluate may be called from multiple
   // caller threads, but slots_/job_fn_/done_items_ describe a single
@@ -226,11 +254,15 @@ void InferenceEngine::RunJob(int total,
     std::unique_lock<std::mutex> queue_lock(queue_mutex_);
     if (max_queue_depth_ > 0 && queue_depth_ >= max_queue_depth_) {
       QueueLimitWaitsCounter().Increment();
+      obs::RecordFlightEvent(obs::FlightEventKind::kQueueLimitWait,
+                             "engine.RunJob", queue_depth_);
       queue_cv_.wait(queue_lock,
                      [&] { return queue_depth_ < max_queue_depth_; });
     }
     ++queue_depth_;
     QueueDepthGauge().Set(static_cast<double>(queue_depth_));
+    obs::RecordFlightEvent(obs::FlightEventKind::kJobEnqueue,
+                           "engine.RunJob", total, queue_depth_);
   }
   std::lock_guard<std::mutex> jobs_lock(jobs_mutex_);
   const uint64_t start_ns = obs::MonotonicNowNs();
@@ -238,6 +270,9 @@ void InferenceEngine::RunJob(int total,
       static_cast<double>(start_ns - enqueue_ns) * 1e-9);
   JobsCounter().Increment();
   ItemsCounter().Increment(total);
+  BatchItemsHistogram().Observe(static_cast<double>(total));
+  obs::RecordFlightEvent(obs::FlightEventKind::kJobStart, "engine.RunJob",
+                         total);
   std::unique_lock<std::mutex> lock(mutex_);
   // Even contiguous partition of [0, total); trailing workers may get
   // an empty slot when there are fewer items than threads.
@@ -251,6 +286,7 @@ void InferenceEngine::RunJob(int total,
     begin += len;
   }
   job_fn_ = process;
+  job_context_ = obs::CurrentTraceContext();
   job_total_ = total;
   done_items_ = 0;
   ++job_generation_;
@@ -260,8 +296,11 @@ void InferenceEngine::RunJob(int total,
   done_cv_.wait(lock,
                 [&] { return done_items_ == job_total_ && active_workers_ == 0; });
   job_fn_ = nullptr;
+  job_context_ = obs::TraceContext{};
   BatchSecondsHistogram().Observe(
       static_cast<double>(obs::MonotonicNowNs() - start_ns) * 1e-9);
+  obs::RecordFlightEvent(obs::FlightEventKind::kJobDone, "engine.RunJob",
+                         total);
   {
     std::lock_guard<std::mutex> queue_lock(queue_mutex_);
     --queue_depth_;

@@ -12,6 +12,7 @@
 
 #include "er/metrics.h"
 #include "er/model.h"
+#include "obs/trace.h"
 
 namespace hiergat {
 
@@ -126,6 +127,10 @@ class InferenceEngine {
   bool shutdown_ = false;
   uint64_t job_generation_ = 0;
   std::function<void(int, int)> job_fn_;
+  /// The caller's request context for the in-flight job (same lifecycle
+  /// and locking as job_fn_); workers install it so every span they
+  /// record carries the request's trace id.
+  obs::TraceContext job_context_;
   int job_total_ = 0;
   int done_items_ = 0;
   int active_workers_ = 0;

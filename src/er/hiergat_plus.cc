@@ -7,6 +7,7 @@
 #include "er/checkpoint_meta.h"
 #include "graph/hhg.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/graph.h"
 #include "tensor/ops.h"
 
@@ -202,6 +203,9 @@ CompiledScoring::Stats HierGatPlusModel::compiled_stats() const {
 
 Tensor HierGatPlusModel::ForwardQueryLogits(const CollectiveQuery& query,
                                             bool training, Rng& rng) const {
+  // Direct callers get a per-query request context; engine workers
+  // carry their job's context and inherit it here.
+  obs::ScopedTraceRoot trace_root;
   HG_CHECK(built_) << "HierGatPlusModel::Train must run before inference";
   // One HHG for the query and all candidates (Figure 2's relation
   // network lives inside this shared graph).

@@ -4,6 +4,7 @@
 
 #include "core/logging.h"
 #include "er/er.h"
+#include "obs/flight_recorder.h"
 #include "obs/log.h"
 
 namespace hiergat {
@@ -56,6 +57,8 @@ StatusOr<std::unique_ptr<Session>> Session::Open(
   }
 
   session->engine_ = std::make_unique<InferenceEngine>(options.engine);
+  obs::RecordFlightEvent(obs::FlightEventKind::kSessionOpen, "Session::Open",
+                         session->engine_->num_threads());
   HG_LOG(INFO) << "Session opened: "
                << (options.collective ? "collective" : "pairwise") << " '"
                << (session->pairwise_model_

@@ -1,5 +1,6 @@
 #include "er/summary_cache.h"
 
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace hiergat {
@@ -69,6 +70,9 @@ void SummaryCache::EvictDownToLocked(size_t target) {
     stats_.evictions += evicted;
     EvictionsCounter().Increment(evicted);
     SizeGauge().Set(static_cast<double>(entries_.size()));
+    obs::RecordFlightEvent(obs::FlightEventKind::kCacheEviction,
+                           "summary_cache", evicted,
+                           static_cast<int64_t>(entries_.size()));
   }
 }
 

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/flight_recorder.h"
+
 namespace hiergat {
 namespace obs {
 
@@ -116,6 +118,11 @@ LogMessage::LogMessage(const char* file, int line, LogLevel level)
 
 LogMessage::~LogMessage() {
   const std::string message = stream_.str();
+  if (level_ == LogLevel::kError) {
+    // Errors are rare enough to be flight-recorder-worthy: a crash dump
+    // then shows the last errors in sequence with engine/cache events.
+    RecordFlightEvent(FlightEventKind::kLogError, file_, line_);
+  }
   const int64_t ts_ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::system_clock::now().time_since_epoch())

@@ -35,6 +35,21 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
   return bounds;
 }
 
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int n) {
+  HG_CHECK(start > 0.0 && factor > 1.0 && n >= 1)
+      << "ExponentialBounds requires start > 0, factor > 1, n >= 1 (got "
+      << start << ", " << factor << ", " << n << ")";
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<size_t>(n));
+  double bound = start;
+  for (int i = 0; i < n; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
 void Histogram::Observe(double value) {
   const size_t bucket = static_cast<size_t>(
       std::upper_bound(bounds_.begin(), bounds_.end(), value) -
@@ -219,6 +234,17 @@ std::string MetricsRegistry::JsonDump() const {
   }
   out << "}}";
   return out.str();
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterValues(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, int64_t>> values;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    values.emplace_back(it->first, it->second->Value());
+  }
+  return values;
 }
 
 void MetricsRegistry::ResetAll() {

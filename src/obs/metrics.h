@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hiergat {
@@ -75,6 +76,15 @@ class Histogram {
 
   static std::vector<double> DefaultLatencyBounds();
 
+  /// Geometric ladder: n bounds {start, start*factor, start*factor^2,
+  /// ...}. The purpose-fit alternative to DefaultLatencyBounds when a
+  /// metric's dynamic range is known — e.g. ExponentialBounds(1, 2, 16)
+  /// for batch sizes (1 .. 32768 items) or ExponentialBounds(1e-7, 4,
+  /// 12) for graph-node times (100ns .. ~0.4s). Requires start > 0,
+  /// factor > 1, n >= 1.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int n);
+
  private:
   std::vector<double> bounds_;
   std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1 slots.
@@ -113,6 +123,13 @@ class MetricsRegistry {
   /// One JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, p50, p95}}}.
   std::string JsonDump() const;
+
+  /// Name/value snapshot of every counter whose name starts with
+  /// `prefix`, in name order. Lets callers enumerate families of
+  /// dynamically named counters (e.g. `hiergat.graph.node.*`) without
+  /// parsing a JSON dump.
+  std::vector<std::pair<std::string, int64_t>> CounterValues(
+      const std::string& prefix) const;
 
   /// Zeroes every metric's value. Registered objects (and references to
   /// them) stay valid — this resets data, not the registry shape.

@@ -6,6 +6,50 @@
 namespace hiergat {
 namespace obs {
 
+namespace {
+
+thread_local TraceContext tls_trace_context;
+
+Counter& DroppedEvents() {
+  static Counter& counter = MetricsRegistry::Global().GetCounter(
+      "hiergat.trace.dropped_events");
+  return counter;
+}
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return tls_trace_context; }
+
+TraceContext NewTraceContext() {
+  static std::atomic<uint64_t> next_trace_id{1};
+  static std::atomic<uint64_t> next_span_id{1};
+  TraceContext context;
+  context.trace_id = next_trace_id.fetch_add(1, std::memory_order_relaxed);
+  context.span_id = next_span_id.fetch_add(1, std::memory_order_relaxed);
+  return context;
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext context)
+    : previous_(tls_trace_context) {
+  tls_trace_context = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tls_trace_context = previous_; }
+
+ScopedTraceRoot::ScopedTraceRoot() {
+  if (tls_trace_context.active()) {
+    context_ = tls_trace_context;
+    return;
+  }
+  context_ = NewTraceContext();
+  tls_trace_context = context_;
+  installed_ = true;
+}
+
+ScopedTraceRoot::~ScopedTraceRoot() {
+  if (installed_) tls_trace_context = TraceContext{};
+}
+
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* recorder = new TraceRecorder();
   return *recorder;
@@ -26,19 +70,25 @@ TraceRecorder::ThreadRing& TraceRecorder::RingForThisThread() {
 }
 
 void TraceRecorder::Record(const char* name, uint64_t start_ns,
-                           uint64_t dur_ns) {
+                           uint64_t dur_ns, uint64_t trace_id, int64_t flops,
+                           int64_t bytes) {
   ThreadRing& ring = RingForThisThread();
   // The ring's mutex is only ever contended by a snapshot/Clear; for the
   // owning thread this is an uncontended lock (a couple of atomics).
   std::lock_guard<std::mutex> lock(ring.mutex);
   if (ring.events.size() < kEventsPerThread) {
-    ring.events.push_back({name, start_ns, dur_ns});
+    ring.events.push_back({name, start_ns, dur_ns, trace_id, flops, bytes});
     ring.next = ring.events.size() % kEventsPerThread;
     return;
   }
-  ring.events[ring.next] = {name, start_ns, dur_ns};
+  ring.events[ring.next] = {name, start_ns, dur_ns, trace_id, flops, bytes};
   ring.next = (ring.next + 1) % kEventsPerThread;
   ring.wrapped = true;
+  // The slot held the oldest buffered event; count the loss so truncated
+  // traces are visible (per-ring for the JSON footer, plus the global
+  // counter).
+  ++ring.dropped;
+  DroppedEvents().Increment();
 }
 
 void TraceRecorder::SetCurrentThreadName(const std::string& name) {
@@ -54,6 +104,7 @@ void TraceRecorder::Clear() {
     ring->events.clear();
     ring->next = 0;
     ring->wrapped = false;
+    ring->dropped = 0;
   }
 }
 
@@ -67,6 +118,26 @@ size_t TraceRecorder::event_count() const {
   return total;
 }
 
+uint64_t TraceRecorder::dropped_count() const {
+  std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  uint64_t total = 0;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::vector<TraceEvent> TraceRecorder::SnapshotEvents() const {
+  std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    events.insert(events.end(), ring->events.begin(), ring->events.end());
+  }
+  return events;
+}
+
 std::string TraceRecorder::ChromeTraceJson() const {
   std::ostringstream out;
   out.setf(std::ios::fixed);
@@ -75,8 +146,12 @@ std::string TraceRecorder::ChromeTraceJson() const {
   out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
          "\"args\":{\"name\":\"hiergat\"}}";
   std::lock_guard<std::mutex> rings_lock(rings_mutex_);
+  size_t total_events = 0;
+  uint64_t total_dropped = 0;
   for (const auto& ring : rings_) {
     std::lock_guard<std::mutex> lock(ring->mutex);
+    total_events += ring->events.size();
+    total_dropped += ring->dropped;
     if (!ring->name.empty()) {
       out << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":"
           << ring->tid << ",\"args\":{\"name\":\"" << ring->name << "\"}}";
@@ -85,10 +160,30 @@ std::string TraceRecorder::ChromeTraceJson() const {
       out << ",{\"name\":\"" << event.name << "\",\"ph\":\"X\",\"pid\":0"
           << ",\"tid\":" << ring->tid
           << ",\"ts\":" << static_cast<double>(event.start_ns) * 1e-3
-          << ",\"dur\":" << static_cast<double>(event.dur_ns) * 1e-3 << "}";
+          << ",\"dur\":" << static_cast<double>(event.dur_ns) * 1e-3;
+      if (event.trace_id != 0 || event.flops != 0 || event.bytes != 0) {
+        out << ",\"args\":{";
+        const char* sep = "";
+        if (event.trace_id != 0) {
+          out << "\"trace\":" << event.trace_id;
+          sep = ",";
+        }
+        if (event.flops != 0) {
+          out << sep << "\"flops\":" << event.flops;
+          sep = ",";
+        }
+        if (event.bytes != 0) {
+          out << sep << "\"bytes\":" << event.bytes;
+        }
+        out << "}";
+      }
+      out << "}";
     }
   }
-  out << "]}";
+  // Extra top-level keys are legal in the Chrome trace format (viewers
+  // ignore them); hg_trace_report reads this footer to flag truncation.
+  out << "],\"hiergatTrace\":{\"events\":" << total_events
+      << ",\"dropped_events\":" << total_dropped << "}}";
   return out.str();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -60,6 +61,42 @@ obs::Gauge& LiveArenaBytes() {
   return g;
 }
 
+/// Sampled per-node replay wall time in seconds (tracing enabled only).
+obs::Histogram& NodeSeconds() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "hiergat.graph.node_seconds",
+      obs::Histogram::ExponentialBounds(1e-7, 4.0, 12));
+  return h;
+}
+
+/// Per-op-name metric bundle behind the `hiergat.graph.node.<name>.*`
+/// family. Resolved once per name at plan time (the name set is the
+/// fixed set of op literals), so replay touches only the atomics.
+struct NodeCounters {
+  obs::Counter* replays = nullptr;
+  obs::Counter* ns = nullptr;  ///< Sampled wall time; grows only under tracing.
+  obs::Counter* est_flops = nullptr;
+  obs::Counter* est_bytes = nullptr;
+};
+
+NodeCounters* CountersForName(const char* name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<NodeCounters>>* by_name =
+      new std::map<std::string, std::unique_ptr<NodeCounters>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = (*by_name)[name];
+  if (!slot) {
+    slot = std::make_unique<NodeCounters>();
+    const std::string prefix = std::string("hiergat.graph.node.") + name;
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    slot->replays = &registry.GetCounter(prefix + ".replays");
+    slot->ns = &registry.GetCounter(prefix + ".ns");
+    slot->est_flops = &registry.GetCounter(prefix + ".est_flops");
+    slot->est_bytes = &registry.GetCounter(prefix + ".est_bytes");
+  }
+  return slot.get();
+}
+
 }  // namespace
 
 struct CompiledGraph::Impl {
@@ -87,6 +124,9 @@ struct CompiledGraph::Impl {
     std::vector<int> inputs;
     std::vector<int> scratch;
     int output = -1;
+    int64_t flops = -1;  ///< From Record; -1 = default to output size.
+    int64_t bytes = 0;   ///< Filled by the planner (f32 traffic).
+    NodeCounters* counters = nullptr;  ///< Resolved at plan time.
   };
 
   std::vector<Value> values;
@@ -98,6 +138,7 @@ struct CompiledGraph::Impl {
   size_t max_node_scratch = 0;
   PlanStats stats;
   std::vector<PlannedValue> plan;
+  std::vector<NodeCost> node_costs;
 };
 
 namespace {
@@ -280,6 +321,29 @@ void PlanGraph(Impl* g) {
     g->max_node_inputs = std::max(g->max_node_inputs, node.inputs.size());
     g->max_node_scratch = std::max(g->max_node_scratch, node.scratch.size());
   }
+
+  // 5. Static per-node cost annotations. FLOPs come from the Record call
+  //    (default: one per output element); bytes are the node's f32
+  //    traffic — every input read, scratch, and the output write. These
+  //    are estimates, not measurements: their job is to rank nodes and
+  //    give trace spans arithmetic-intensity context, so a cache-line
+  //    model would be false precision.
+  g->node_costs.reserve(g->nodes.size());
+  for (Impl::Node& node : g->nodes) {
+    const auto size_of = [&](int id) {
+      return static_cast<int64_t>(g->values[static_cast<size_t>(id)].size);
+    };
+    if (node.flops < 0) node.flops = size_of(node.output);
+    int64_t traffic_floats = size_of(node.output);
+    for (int id : node.inputs) traffic_floats += size_of(id);
+    for (int id : node.scratch) traffic_floats += size_of(id);
+    node.bytes = traffic_floats * static_cast<int64_t>(sizeof(float));
+    node.counters = CountersForName(node.name);
+    g->node_costs.push_back({node.name, node.flops, node.bytes});
+    g->stats.est_flops += node.flops;
+    g->stats.est_bytes += node.bytes;
+  }
+
   g->stats.num_nodes = num_nodes;
   g->stats.num_values = static_cast<int>(g->values.size());
   g->stats.plan_bytes = high_water * sizeof(float);
@@ -319,6 +383,9 @@ int64_t CompiledGraph::output_size(int i) const {
 const PlanStats& CompiledGraph::stats() const { return impl_->stats; }
 const std::vector<PlannedValue>& CompiledGraph::plan() const {
   return impl_->plan;
+}
+const std::vector<NodeCost>& CompiledGraph::node_costs() const {
+  return impl_->node_costs;
 }
 
 std::unique_ptr<float[]> CompiledGraph::AcquireArena() const {
@@ -375,7 +442,14 @@ void CompiledGraph::Run(const float* const* inputs, float* const* outputs,
 
   std::vector<const float*> in(g.max_node_inputs);
   std::vector<float*> scratch(g.max_node_scratch);
+#if !defined(HIERGAT_NO_TRACING)
+  // Per-node wall time is sampled only while a trace is being recorded;
+  // the untraced replay path costs one relaxed load plus three counter
+  // adds per node. HIERGAT_NO_TRACING compiles the sampling out.
   const bool tracing = obs::TraceRecorder::Global().enabled();
+  const uint64_t trace_id =
+      tracing ? obs::CurrentTraceContext().trace_id : 0;
+#endif
   for (const Impl::Node& node : g.nodes) {
     for (size_t k = 0; k < node.inputs.size(); ++k) {
       in[k] = ptrs[static_cast<size_t>(node.inputs[k])];
@@ -386,12 +460,24 @@ void CompiledGraph::Run(const float* const* inputs, float* const* outputs,
     }
     float* out =
         base + g.values[static_cast<size_t>(node.output)].arena_offset;
+#if !defined(HIERGAT_NO_TRACING)
     if (tracing) {
-      obs::TraceSpan span(node.name);
+      const uint64_t start_ns = obs::MonotonicNowNs();
       node.fn(in.data(), scratch.data(), out, pool);
+      const uint64_t dur_ns = obs::MonotonicNowNs() - start_ns;
+      obs::TraceRecorder::Global().Record(node.name, start_ns, dur_ns,
+                                          trace_id, node.flops, node.bytes);
+      node.counters->ns->Increment(static_cast<int64_t>(dur_ns));
+      NodeSeconds().Observe(static_cast<double>(dur_ns) * 1e-9);
     } else {
       node.fn(in.data(), scratch.data(), out, pool);
     }
+#else
+    node.fn(in.data(), scratch.data(), out, pool);
+#endif
+    node.counters->replays->Increment();
+    node.counters->est_flops->Increment(node.flops);
+    node.counters->est_bytes->Increment(node.bytes);
   }
 
   for (size_t i = 0; i < g.output_ids.size(); ++i) {
@@ -492,7 +578,7 @@ void OnUnsupported(const char* what) {
 
 void Record(const Tensor& out, const std::vector<Tensor>& inputs,
             const char* name, NodeFn fn,
-            const std::vector<size_t>& scratch_sizes) {
+            const std::vector<size_t>& scratch_sizes, int64_t flops) {
   Recorder* r = tls_recorder;
   if (r == nullptr || r->poisoned) return;
   r->unclaimed.erase(out.impl().get());
@@ -537,6 +623,7 @@ void Record(const Tensor& out, const std::vector<Tensor>& inputs,
   node.fn = std::move(fn);
   node.inputs = std::move(in_ids);
   node.output = out_id;
+  node.flops = flops;
   for (size_t floats : scratch_sizes) {
     Impl::Value s;
     s.kind = Kind::kArena;

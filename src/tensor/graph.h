@@ -62,6 +62,22 @@ struct PlanStats {
   int num_views = 0;   ///< Slices/reshapes elided to pointer offsets.
   size_t plan_bytes = 0;   ///< Arena footprint after live-range packing.
   size_t eager_bytes = 0;  ///< Intermediate bytes the eager path allocates.
+  int64_t est_flops = 0;   ///< Static FLOP estimate for one replay.
+  int64_t est_bytes = 0;   ///< Static bytes-moved estimate for one replay.
+};
+
+/// Static cost annotation for one executable node, fixed at plan time.
+/// `flops` comes from the op's Record call (GEMM-family ops pass exact
+/// 2*m*n*k counts; ops that pass nothing default to one FLOP per output
+/// element); `bytes` is the f32 traffic through the node — every input
+/// read plus scratch plus the output write. Replay multiplies these by
+/// the replay count in the `hiergat.graph.node.<name>.*` counters, and
+/// stamps them on the node's trace span so tools/hg_trace_report.py can
+/// rank hot nodes by measured time with cost context.
+struct NodeCost {
+  const char* name = nullptr;  ///< Op name (static lifetime).
+  int64_t flops = 0;
+  int64_t bytes = 0;
 };
 
 /// Introspection for planner tests: one arena value's placement.
@@ -91,6 +107,8 @@ class CompiledGraph {
   const PlanStats& stats() const;
   /// Arena placements in definition order (planner tests).
   const std::vector<PlannedValue>& plan() const;
+  /// Per-node static cost annotations in execution order.
+  const std::vector<NodeCost>& node_costs() const;
 
   /// Replays the graph. `inputs[i]` points at input_shape(i) elements;
   /// `outputs[i]` receives output_size(i) elements. `pool` may be null.
@@ -166,10 +184,14 @@ void OnUnsupported(const char* what);
 /// Records `out = fn(inputs...)`. `name` must have static lifetime (op
 /// name literal; used for per-node trace spans). `scratch_sizes` are
 /// per-node writable buffers (in floats) planned in the arena and
-/// passed to `fn` in order.
+/// passed to `fn` in order. `flops` is the op's static FLOP count per
+/// execution; ops with real arithmetic intensity (the GEMM family,
+/// attention) pass exact counts, and the default -1 estimates one FLOP
+/// per output element (right for elementwise/reduction ops).
 void Record(const Tensor& out, const std::vector<Tensor>& inputs,
             const char* name, NodeFn fn,
-            const std::vector<size_t>& scratch_sizes = {});
+            const std::vector<size_t>& scratch_sizes = {},
+            int64_t flops = -1);
 
 /// Records `out` as a pure view of `base` at `offset_floats`
 /// (SliceRows/Row/Reshape/Flatten): no node, no replay work.

@@ -295,7 +295,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                     std::fill(op, op + static_cast<size_t>(m) * n, 0.0f);
                     kernels::ParallelGemmNN(pool, m, n, k, 1.0f, in[0], in[1],
                                             op);
-                  });
+                  },
+                  {}, 2LL * m * n * k);
   }
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
@@ -729,11 +730,13 @@ Tensor Softmax(const Tensor& a) {
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
   kernels::SoftmaxRows(rows, cols, a.data().data(), out.data().data());
   if (Capturing()) {
+    // ~5 FLOPs per element: max scan, subtract, exp, sum, divide.
     graph::Record(out, {a}, "Softmax",
                   [rows, cols](const float* const* in, float* const*,
                                float* op, ThreadPool* pool) {
                     kernels::ParallelSoftmaxRows(pool, rows, cols, in[0], op);
-                  });
+                  },
+                  {}, 5LL * rows * cols);
   }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
@@ -769,6 +772,8 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     pool.Release(std::move(xhat));
     pool.Release(std::move(inv_std));
     if (Capturing()) {
+      // ~8 FLOPs per element: mean, variance (two passes), normalize,
+      // scale + shift.
       graph::Record(
           out, {x, gamma, beta}, "LayerNorm",
           [rows, cols, eps](const float* const* in, float* const* scratch,
@@ -777,7 +782,8 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                                            in[1], in[2], op, scratch[0],
                                            scratch[1]);
           },
-          {x.data().size(), static_cast<size_t>(rows)});
+          {x.data().size(), static_cast<size_t>(rows)},
+          8LL * rows * cols);
     }
     return out;
   }
@@ -849,7 +855,8 @@ Tensor LinearOp(const Tensor& x, const Tensor& w, const Tensor& bias) {
                     kernels::ParallelGemmNN(pool, m, n, k, 1.0f, in[0], in[1],
                                             op);
                     if (has_bias) kernels::AddBiasRows(m, n, in[2], op);
-                  });
+                  },
+                  {}, 2LL * m * n * k + (has_bias ? 1LL * m * n : 0));
   }
   if (rg) {
     Impl xi = x.impl().get(), wi = w.impl().get(), oi = out.impl().get();
@@ -909,6 +916,8 @@ Tensor AttentionScores(const Tensor& q, const Tensor& k, float scale,
   if (Capturing()) {
     std::vector<Tensor> rec_inputs = {q, k};
     if (has_mask) rec_inputs.push_back(mask);
+    // Fused scaled GEMM-NT (2*lq*lk*d), optional mask add (lq*lk), and
+    // row softmax (~5*lq*lk).
     graph::Record(out, rec_inputs, "AttentionScores",
                   [lq, lk, d, scale, has_mask](const float* const* in,
                                                float* const*, float* op,
@@ -921,7 +930,10 @@ Tensor AttentionScores(const Tensor& q, const Tensor& k, float scale,
                                           op);
                     }
                     kernels::ParallelSoftmaxRows(pool, lq, lk, op, op);
-                  });
+                  },
+                  {},
+                  2LL * lq * lk * d + (has_mask ? 1LL * lq * lk : 0) +
+                      5LL * lq * lk);
   }
   if (rg) {
     Impl qi = q.impl().get(), ki = k.impl().get(), oi = out.impl().get();

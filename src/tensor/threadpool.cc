@@ -112,6 +112,10 @@ void ThreadPool::WorkerLoop(int worker_index) {
       // exclusive acquisition in ParallelFor waits for us to leave
       // before it rewrites the task fields we read.
       std::shared_lock<std::shared_mutex> state_lock(state_mutex_);
+      // Run the task under the dispatcher's request context so chunk
+      // spans (and anything recorded inside the kernels) carry the
+      // request's trace id.
+      obs::ScopedTraceContext context_guard(task_context_);
       RunChunks();
     }
   }
@@ -154,6 +158,7 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     task_begin_ = begin;
     task_end_ = end;
     task_grain_ = grain;
+    task_context_ = obs::CurrentTraceContext();
     num_chunks_ = (end - begin + grain - 1) / grain;
     done_chunks_.store(0, std::memory_order_relaxed);
     next_chunk_.store(0, std::memory_order_release);

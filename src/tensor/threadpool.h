@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace hiergat {
 
 /// Persistent intra-op worker pool for the chunked row-parallel kernels
@@ -74,6 +76,10 @@ class ThreadPool {
   int64_t task_end_ = 0;
   int64_t task_grain_ = 1;
   int64_t num_chunks_ = 0;
+  // The dispatcher's request context, captured at ParallelFor and
+  // installed on each worker for the task's chunks — spans recorded
+  // inside a chunk inherit the dispatching request's trace id.
+  obs::TraceContext task_context_;
   std::atomic<int64_t> next_chunk_{0};
   std::atomic<int64_t> done_chunks_{0};
 

@@ -1,0 +1,251 @@
+#!/usr/bin/env python3
+"""Gates a fresh hiergat bench JSON against a committed baseline.
+
+Usage:
+  bench_compare.py BASELINE FRESH [options]
+  bench_compare.py --self-test
+
+Both files must be valid hiergat-bench-v1 documents (see
+tools/check_bench_json.py) describing the *same* benchmark. The gate
+compares a chosen set of metrics with direction-aware tolerances and
+exits 1 with a REGRESSION line per violated bound.
+
+Options:
+  --higher METRIC[:TOL]   fresh metric must be >= baseline * (1 - TOL)
+  --lower METRIC[:TOL]    fresh metric must be <= baseline * (1 + TOL)
+  --throughput[:TOL]      gate throughput_items_per_sec (higher-is-better)
+  --tol TOL               default tolerance when a check omits :TOL (0.5)
+  --self-test             run the built-in correctness check and exit
+
+Tolerances are relative fractions: ``--higher cache.hit_rate:0.2`` fails
+when the fresh hit rate drops more than 20% below the baseline. Absolute
+throughput is NOT gated by default — wall-clock numbers are machine- and
+load-relative, so CI gates should prefer ratio metrics (speedups, hit
+rates, reuse fractions) that stay comparable across hosts. Stdlib-only
+on purpose, like the other tools here.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "hiergat-bench-v1"
+
+
+class GateError(Exception):
+    pass
+
+
+def load_doc(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise GateError(f"{path}: unreadable or invalid JSON: {exc}")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        raise GateError(f'{path}: not a "{SCHEMA}" document')
+    if not isinstance(doc.get("benchmark"), str) or not doc["benchmark"]:
+        raise GateError(f'{path}: missing "benchmark" name')
+    if not isinstance(doc.get("metrics"), dict):
+        raise GateError(f'{path}: missing "metrics" object')
+    return doc
+
+
+def metric_value(doc, path, name):
+    if name == "throughput_items_per_sec":
+        value = doc.get("throughput_items_per_sec")
+    else:
+        value = doc["metrics"].get(name)
+    if (
+        not isinstance(value, (int, float))
+        or isinstance(value, bool)
+        or not math.isfinite(value)
+    ):
+        raise GateError(f'{path}: metric "{name}" missing or not finite')
+    return float(value)
+
+
+def parse_check(spec, default_tol):
+    """Splits "metric[:tol]" into (metric, tol)."""
+    name, _, tol_text = spec.partition(":")
+    if not name:
+        raise GateError(f"bad check spec {spec!r}: empty metric name")
+    if not tol_text:
+        return name, default_tol
+    try:
+        tol = float(tol_text)
+    except ValueError:
+        raise GateError(f"bad check spec {spec!r}: tolerance must be a number")
+    if tol < 0:
+        raise GateError(f"bad check spec {spec!r}: tolerance must be >= 0")
+    return name, tol
+
+
+def run_gate(baseline_path, fresh_path, higher, lower, default_tol):
+    """Returns a list of REGRESSION strings (empty = gate passes)."""
+    baseline = load_doc(baseline_path)
+    fresh = load_doc(fresh_path)
+    if baseline["benchmark"] != fresh["benchmark"]:
+        raise GateError(
+            f'benchmark mismatch: baseline is "{baseline["benchmark"]}", '
+            f'fresh is "{fresh["benchmark"]}"'
+        )
+
+    regressions = []
+    for spec in higher:
+        name, tol = parse_check(spec, default_tol)
+        base = metric_value(baseline, baseline_path, name)
+        new = metric_value(fresh, fresh_path, name)
+        floor = base * (1.0 - tol)
+        status = "ok" if new >= floor else "REGRESSION"
+        print(
+            f"{status}: {name} = {new:.6g} vs baseline {base:.6g} "
+            f"(must stay >= {floor:.6g}, tol {tol:.0%})"
+        )
+        if new < floor:
+            regressions.append(name)
+    for spec in lower:
+        name, tol = parse_check(spec, default_tol)
+        base = metric_value(baseline, baseline_path, name)
+        new = metric_value(fresh, fresh_path, name)
+        ceiling = base * (1.0 + tol)
+        status = "ok" if new <= ceiling else "REGRESSION"
+        print(
+            f"{status}: {name} = {new:.6g} vs baseline {base:.6g} "
+            f"(must stay <= {ceiling:.6g}, tol {tol:.0%})"
+        )
+        if new > ceiling:
+            regressions.append(name)
+    if not higher and not lower:
+        raise GateError("no checks requested; pass --higher/--lower/--throughput")
+    return regressions
+
+
+def self_test():
+    """Proves the gate actually fails on regressions (run as a ctest)."""
+    import os
+    import tempfile
+
+    def doc(benchmark, throughput, metrics):
+        return {
+            "schema": SCHEMA,
+            "benchmark": benchmark,
+            "params": {},
+            "repetitions": 1,
+            "latency_seconds": {"p50": 0.1, "p95": 0.2},
+            "throughput_items_per_sec": throughput,
+            "metrics": metrics,
+        }
+
+    cases_passed = 0
+    with tempfile.TemporaryDirectory() as tmp:
+
+        def write(name, payload):
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh)
+            return path
+
+        base = write("base.json", doc("t", 100.0, {"speedup": 2.0, "lat": 1.0}))
+
+        # 1. Identical fresh run passes.
+        same = write("same.json", doc("t", 100.0, {"speedup": 2.0, "lat": 1.0}))
+        assert run_gate(base, same, ["speedup:0.2"], ["lat:0.2"], 0.5) == []
+        cases_passed += 1
+
+        # 2. A drop beyond tolerance on a higher-is-better metric fails.
+        slow = write("slow.json", doc("t", 100.0, {"speedup": 1.0, "lat": 1.0}))
+        assert run_gate(base, slow, ["speedup:0.2"], [], 0.5) == ["speedup"]
+        cases_passed += 1
+
+        # 3. A drop within tolerance passes.
+        close = write("close.json", doc("t", 100.0, {"speedup": 1.9, "lat": 1.0}))
+        assert run_gate(base, close, ["speedup:0.2"], [], 0.5) == []
+        cases_passed += 1
+
+        # 4. A rise beyond tolerance on a lower-is-better metric fails.
+        lag = write("lag.json", doc("t", 100.0, {"speedup": 2.0, "lat": 2.0}))
+        assert run_gate(base, lag, [], ["lat:0.2"], 0.5) == ["lat"]
+        cases_passed += 1
+
+        # 5. Throughput gating uses the top-level field.
+        half = write("half.json", doc("t", 40.0, {"speedup": 2.0, "lat": 1.0}))
+        assert run_gate(
+            base, half, ["throughput_items_per_sec:0.5"], [], 0.5
+        ) == ["throughput_items_per_sec"]
+        cases_passed += 1
+
+        # 6. Benchmark-name mismatch is an error, not a silent pass.
+        other = write("other.json", doc("u", 100.0, {"speedup": 2.0}))
+        try:
+            run_gate(base, other, ["speedup"], [], 0.5)
+        except GateError:
+            cases_passed += 1
+        else:
+            raise AssertionError("benchmark mismatch must raise")
+
+        # 7. A missing metric is an error, not a silent pass.
+        try:
+            run_gate(base, same, ["no_such_metric"], [], 0.5)
+        except GateError:
+            cases_passed += 1
+        else:
+            raise AssertionError("missing metric must raise")
+
+    print(f"self-test OK ({cases_passed} cases)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("fresh", nargs="?")
+    parser.add_argument("--higher", action="append", default=[], metavar="M[:TOL]")
+    parser.add_argument("--lower", action="append", default=[], metavar="M[:TOL]")
+    parser.add_argument(
+        "--throughput",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="TOL",
+        help="gate throughput_items_per_sec (higher-is-better)",
+    )
+    parser.add_argument("--tol", type=float, default=0.5)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv[1:])
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.fresh:
+        parser.error("BASELINE and FRESH are required (or use --self-test)")
+
+    higher = list(args.higher)
+    if args.throughput is not None:
+        spec = "throughput_items_per_sec"
+        if args.throughput:
+            spec += f":{args.throughput}"
+        higher.append(spec)
+
+    try:
+        regressions = run_gate(
+            args.baseline, args.fresh, higher, args.lower, args.tol
+        )
+    except GateError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} metric(s) regressed beyond tolerance: "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 1
+    print("PASS: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

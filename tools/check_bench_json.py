@@ -84,6 +84,30 @@ def check_file(path):
         if not is_finite_number(value):
             return fail(path, f'metric "{key}" must be a finite number')
 
+    # Optional per-op cost accounting (DESIGN.md §12): emitted by benches
+    # that replay compiled graphs; absent from older files and benches
+    # that never compile graphs.
+    if "graph_nodes" in doc:
+        nodes = doc["graph_nodes"]
+        if not isinstance(nodes, list):
+            return fail(path, '"graph_nodes" must be an array')
+        for i, node in enumerate(nodes):
+            where = f'"graph_nodes[{i}]"'
+            if not isinstance(node, dict):
+                return fail(path, f"{where} must be an object")
+            name = node.get("name")
+            if not isinstance(name, str) or not name:
+                return fail(path, f'{where}.name must be a non-empty string')
+            replays = node.get("replays")
+            if not isinstance(replays, int) or isinstance(replays, bool) or replays < 0:
+                return fail(path, f"{where}.replays must be an integer >= 0")
+            for field in ("seconds", "est_flops", "est_bytes"):
+                value = node.get(field)
+                if not is_finite_number(value) or value < 0:
+                    return fail(
+                        path, f"{where}.{field} must be a finite number >= 0"
+                    )
+
     print(f"{path}: OK ({doc['benchmark']}, {reps} reps)")
     return True
 
