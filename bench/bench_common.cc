@@ -8,6 +8,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "tensor/backend.h"
+
 namespace hiergat {
 namespace bench {
 
@@ -54,7 +56,11 @@ std::string JsonNumber(double value) {
 }  // namespace
 
 BenchResult::BenchResult(std::string benchmark)
-    : benchmark_(std::move(benchmark)) {}
+    : benchmark_(std::move(benchmark)) {
+  // Every result records which kernel backend produced it, so baseline
+  // JSONs from different hosts/ISAs stay attributable.
+  AddParam("backend", backend::ActiveName());
+}
 
 void BenchResult::AddParam(const std::string& key, const std::string& value) {
   params_.emplace_back(key, JsonQuote(value));

@@ -19,7 +19,7 @@ namespace bench {
 ///   {
 ///     "schema": "hiergat-bench-v1",
 ///     "benchmark": "<name>",
-///     "params": { "<key>": <string|number>, ... },
+///     "params": { "backend": <string>, "<key>": <string|number>, ... },
 ///     "repetitions": <int >= 1>,
 ///     "latency_seconds": { "p50": <num>, "p95": <num> },
 ///     "throughput_items_per_sec": <num>,

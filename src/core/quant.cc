@@ -1,0 +1,82 @@
+#include "core/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/logging.h"
+
+namespace hiergat {
+namespace q8 {
+
+void QuantizeRow(const float* x, int cols, Block* blocks) {
+  const int nb = BlocksPerRow(cols);
+  for (int b = 0; b < nb; ++b) {
+    const int begin = b * kBlockSize;
+    const int len = std::min(kBlockSize, cols - begin);
+    const float* in = x + begin;
+    float amax = 0.0f;
+    for (int j = 0; j < len; ++j) amax = std::max(amax, std::fabs(in[j]));
+    Block& blk = blocks[b];
+    blk.scale = amax / 127.0f;
+    const float id = blk.scale != 0.0f ? 1.0f / blk.scale : 0.0f;
+    for (int j = 0; j < len; ++j) {
+      const long v = std::lroundf(in[j] * id);
+      blk.q[j] = static_cast<int8_t>(std::clamp<long>(v, -127, 127));
+    }
+    // Padding lanes of a partial trailing block stay zero so the wire
+    // image is deterministic.
+    for (int j = len; j < kBlockSize; ++j) blk.q[j] = 0;
+  }
+}
+
+void DequantizeRow(const Block* blocks, int cols, float* out) {
+  const int nb = BlocksPerRow(cols);
+  for (int b = 0; b < nb; ++b) {
+    const int begin = b * kBlockSize;
+    const int len = std::min(kBlockSize, cols - begin);
+    const Block& blk = blocks[b];
+    for (int j = 0; j < len; ++j) {
+      out[begin + j] = blk.scale * static_cast<float>(blk.q[j]);
+    }
+  }
+}
+
+void QuantizedTensor::Resize(int rows, int cols) {
+  HG_CHECK(rows > 0 && cols > 0)
+      << "QuantizedTensor::Resize: bad shape [" << rows << ", " << cols
+      << "]";
+  rows_ = rows;
+  cols_ = cols;
+  blocks_.assign(static_cast<size_t>(rows) * BlocksPerRow(cols), Block{});
+  active_ = true;
+}
+
+void QuantizedTensor::QuantizeFrom(const float* x, int rows, int cols) {
+  Resize(rows, cols);
+  const int bpr = BlocksPerRow(cols);
+  for (int r = 0; r < rows; ++r) {
+    QuantizeRow(x + static_cast<size_t>(r) * cols, cols,
+                blocks_.data() + static_cast<size_t>(r) * bpr);
+  }
+}
+
+void QuantizedTensor::DequantizeTo(float* out) const {
+  HG_CHECK(active_) << "DequantizeTo on inactive QuantizedTensor";
+  const int bpr = BlocksPerRow(cols_);
+  for (int r = 0; r < rows_; ++r) {
+    DequantizeRow(blocks_.data() + static_cast<size_t>(r) * bpr, cols_,
+                  out + static_cast<size_t>(r) * cols_);
+  }
+}
+
+void QuantizedTensor::Clear() {
+  rows_ = 0;
+  cols_ = 0;
+  active_ = false;
+  blocks_.clear();
+  blocks_.shrink_to_fit();
+}
+
+}  // namespace q8
+}  // namespace hiergat

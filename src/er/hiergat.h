@@ -73,6 +73,12 @@ class HierGatModel : public NeuralPairwiseModel {
   Status Save(const std::string& path, DType dtype) const;
   Status Load(const std::string& path) override;
 
+  /// Converts every Linear weight and embedding table to Q8_0 blocks in
+  /// place (see PairwiseModel::QuantizeWeights). Inference dispatches
+  /// the quantized kernels afterwards and Save emits a kQ8_0
+  /// checkpoint; caches and compiled graphs are invalidated.
+  Status QuantizeWeights() override;
+
   /// Toggles the inference-time summary cache (on by default; useful
   /// for benchmarking the uncached path).
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }

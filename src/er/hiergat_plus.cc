@@ -120,6 +120,18 @@ Status HierGatPlusModel::Save(const std::string& path, DType dtype) const {
   return Status::Ok();
 }
 
+Status HierGatPlusModel::QuantizeWeights() {
+  if (!built_) {
+    return Status::FailedPrecondition(
+        "HierGatPlusModel::QuantizeWeights: train or load a model first");
+  }
+  NamedParameters params;
+  RegisterCheckpointParameters(&params);
+  HG_RETURN_IF_ERROR(params.QuantizeAll());
+  InvalidateInferenceCache();
+  return Status::Ok();
+}
+
 Status HierGatPlusModel::Load(const std::string& path) {
   const auto start = std::chrono::steady_clock::now();
   auto reader_or = TensorReader::Open(path);

@@ -59,6 +59,9 @@ class HierGatPlusModel : public NeuralCollectiveModel {
   Status Save(const std::string& path, DType dtype) const;
   Status Load(const std::string& path) override;
 
+  /// See HierGatModel::QuantizeWeights.
+  Status QuantizeWeights() override;
+
   /// Inference-time entity-summary cache (hit/miss/eviction stats; also
   /// aggregated into the `hiergat.cache.*` metrics).
   const SummaryCache& summary_cache() const { return summary_cache_; }

@@ -100,6 +100,16 @@ class PairwiseModel {
                                       " does not support checkpointing");
   }
 
+  /// Converts the model's weights to Q8_0 block-quantized storage in
+  /// place (core/quant.h): inference runs the quantized kernels, and a
+  /// subsequent Save writes a kQ8_0 checkpoint. Lossy and one-way —
+  /// reload an f32 checkpoint to restore full precision. Models without
+  /// quantized inference keep this default.
+  virtual Status QuantizeWeights() {
+    return Status::FailedPrecondition(name() +
+                                      " does not support weight quantization");
+  }
+
  protected:
   /// Single-pair hook used by the default ScoreBatch loop.
   virtual float ScorePair(const EntityPair& pair) const = 0;
@@ -145,6 +155,12 @@ class CollectiveModel {
     return Status::FailedPrecondition(name() +
                                       " does not support checkpointing");
   }
+
+  /// See PairwiseModel::QuantizeWeights.
+  virtual Status QuantizeWeights() {
+    return Status::FailedPrecondition(name() +
+                                      " does not support weight quantization");
+  }
 };
 
 /// Runs a pairwise matcher on collective data by scoring each
@@ -169,6 +185,7 @@ class PairwiseAsCollective : public CollectiveModel {
   void set_summary_cache_capacity(size_t max_entries) override {
     pairwise_->set_summary_cache_capacity(max_entries);
   }
+  Status QuantizeWeights() override { return pairwise_->QuantizeWeights(); }
 
  private:
   PairwiseModel* pairwise_;  // Not owned.

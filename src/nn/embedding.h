@@ -1,14 +1,21 @@
 #ifndef HIERGAT_NN_EMBEDDING_H_
 #define HIERGAT_NN_EMBEDDING_H_
 
+#include <memory>
 #include <vector>
 
+#include "core/quant.h"
 #include "nn/module.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
 
 /// Trainable lookup table of `vocab_size` x `dim` embeddings.
+///
+/// Like nn::Linear the table owns a Q8_0 slot; once activated,
+/// eager-inference lookups dequantize only the selected rows
+/// (EmbeddingLookupQ8). Training and graph-capture calls use the f32
+/// table — the quantized lookup records no graph node.
 class Embedding : public Module {
  public:
   Embedding(int vocab_size, int dim, Rng& rng, float init_stddev = 0.1f);
@@ -24,17 +31,22 @@ class Embedding : public Module {
   std::vector<Tensor> Parameters() const override { return {table_}; }
 
   void RegisterParameters(NamedParameters* out) const override {
-    (void)out->Add("table", table_);
+    (void)out->AddQuantizable("table", table_, table_q8_);
   }
 
   int vocab_size() const { return vocab_size_; }
   int dim() const { return dim_; }
   const Tensor& table() const { return table_; }
 
+  /// True when inference lookups dequantize from Q8_0 blocks.
+  bool quantized() const { return table_q8_->active(); }
+
  private:
   int vocab_size_;
   int dim_;
   Tensor table_;  // [vocab_size, dim]
+  std::shared_ptr<q8::QuantizedTensor> table_q8_ =
+      std::make_shared<q8::QuantizedTensor>();
 };
 
 }  // namespace hiergat

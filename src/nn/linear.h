@@ -1,14 +1,24 @@
 #ifndef HIERGAT_NN_LINEAR_H_
 #define HIERGAT_NN_LINEAR_H_
 
+#include <memory>
 #include <vector>
 
+#include "core/quant.h"
 #include "nn/module.h"
 #include "tensor/ops.h"
 
 namespace hiergat {
 
 /// Fully connected layer: y = x W + b for x of shape [n, in_features].
+///
+/// The weight owns a Q8_0 quantized slot (core/quant.h). While the slot
+/// is inactive the layer is a plain f32 affine map. Activating it —
+/// via NamedParameters::QuantizeAll or by loading a kQ8_0 checkpoint —
+/// makes inference-mode Forward run the quantized-weight GEMM
+/// (LinearQ8Op) instead; training-mode calls keep using the f32 weight,
+/// whose values QuantizeAll rewrites to the dequantized ones so both
+/// paths score identically.
 class Linear : public Module {
  public:
   Linear(int in_features, int out_features, Rng& rng, bool use_bias = true);
@@ -19,7 +29,7 @@ class Linear : public Module {
   std::vector<Tensor> Parameters() const override;
 
   void RegisterParameters(NamedParameters* out) const override {
-    (void)out->Add("weight", weight_);
+    (void)out->AddQuantizable("weight", weight_, weight_q8_);
     if (bias_.defined()) (void)out->Add("bias", bias_);
   }
 
@@ -28,11 +38,16 @@ class Linear : public Module {
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }
 
+  /// True when Forward dispatches the quantized-weight kernel.
+  bool quantized() const { return weight_q8_->active(); }
+
  private:
   int in_features_;
   int out_features_;
   Tensor weight_;  // [in, out]
   Tensor bias_;    // [out]; undefined when use_bias is false
+  std::shared_ptr<q8::QuantizedTensor> weight_q8_ =
+      std::make_shared<q8::QuantizedTensor>();
 };
 
 }  // namespace hiergat

@@ -4,312 +4,27 @@
 #include <cmath>
 #include <cstdint>
 
+#include "core/quant.h"
 #include "tensor/threadpool.h"
 
 namespace hiergat {
 namespace kernels {
 
-namespace {
+// Scalar reference instantiation of the shared kernel bodies. This TU
+// is compiled at the build's baseline ISA (see src/tensor/CMakeLists
+// — no -mavx2), so the symbols here are the portable backend the
+// registry falls back to and the yardstick every wide backend must
+// match bit-for-bit.
+#include "tensor/kernel_body.inc"
 
-// GEMM micro-tile: kMR output rows x kNR output columns accumulate in
-// registers across the whole k loop, so C is loaded/stored once per
-// tile instead of once per k step (the seed i-k-j loop's 2N memory ops
-// per k). kNR = 16 floats is 2 AVX2 / 4 SSE vectors; kMR x kNR = 64
-// accumulators still leave room for the B row and broadcasts.
-constexpr int kMR = 4;
-constexpr int kNR = 16;
+namespace internal {
 
-// Dot-product unroll width for the NT (row-by-row) kernel: 8 parallel
-// partial sums per output let the vectorizer keep lanes independent
-// without reassociating a single serial reduction.
-constexpr int kKU = 8;
-
-/// A[i, kk] for the NN layout ([m, k] row-major) or the TN layout
-/// (A stored [k, m], read transposed).
-template <bool kTransA>
-inline float AVal(const float* a, int i, int kk, int m, int k) {
-  return kTransA ? a[static_cast<size_t>(kk) * m + i]
-                 : a[static_cast<size_t>(i) * k + kk];
-}
-
-/// Shared body of GemmNN / GemmTN — identical tiling, different A
-/// indexing. B is [k, n] row-major in both.
-template <bool kTransA>
-void GemmNNTN(int m, int n, int k, float alpha, const float* a,
-              const float* b, float* c) {
-  for (int i0 = 0; i0 < m; i0 += kMR) {
-    const int mb = std::min(kMR, m - i0);
-    int j0 = 0;
-    for (; j0 + kNR <= n; j0 += kNR) {
-      if (mb == kMR) {
-        // Full micro-tile: fixed trip counts, everything in registers.
-        float acc[kMR][kNR] = {};
-        for (int kk = 0; kk < k; ++kk) {
-          const float* __restrict__ brow =
-              b + static_cast<size_t>(kk) * n + j0;
-          const float a0 = alpha * AVal<kTransA>(a, i0 + 0, kk, m, k);
-          const float a1 = alpha * AVal<kTransA>(a, i0 + 1, kk, m, k);
-          const float a2 = alpha * AVal<kTransA>(a, i0 + 2, kk, m, k);
-          const float a3 = alpha * AVal<kTransA>(a, i0 + 3, kk, m, k);
-          for (int j = 0; j < kNR; ++j) {
-            const float bv = brow[j];
-            acc[0][j] += a0 * bv;
-            acc[1][j] += a1 * bv;
-            acc[2][j] += a2 * bv;
-            acc[3][j] += a3 * bv;
-          }
-        }
-        for (int r = 0; r < kMR; ++r) {
-          float* __restrict__ crow =
-              c + static_cast<size_t>(i0 + r) * n + j0;
-          for (int j = 0; j < kNR; ++j) crow[j] += acc[r][j];
-        }
-      } else {
-        // Row remainder (1..3 rows), full column width.
-        float acc[kMR][kNR] = {};
-        for (int kk = 0; kk < k; ++kk) {
-          const float* __restrict__ brow =
-              b + static_cast<size_t>(kk) * n + j0;
-          for (int r = 0; r < mb; ++r) {
-            const float av = alpha * AVal<kTransA>(a, i0 + r, kk, m, k);
-            for (int j = 0; j < kNR; ++j) acc[r][j] += av * brow[j];
-          }
-        }
-        for (int r = 0; r < mb; ++r) {
-          float* __restrict__ crow =
-              c + static_cast<size_t>(i0 + r) * n + j0;
-          for (int j = 0; j < kNR; ++j) crow[j] += acc[r][j];
-        }
-      }
-    }
-    if (j0 < n) {
-      // Column remainder: plain i-k-j over the trailing (< kNR) columns.
-      for (int r = 0; r < mb; ++r) {
-        float* __restrict__ crow = c + static_cast<size_t>(i0 + r) * n;
-        for (int kk = 0; kk < k; ++kk) {
-          const float av = alpha * AVal<kTransA>(a, i0 + r, kk, m, k);
-          const float* __restrict__ brow = b + static_cast<size_t>(kk) * n;
-          for (int j = j0; j < n; ++j) crow[j] += av * brow[j];
-        }
-      }
-    }
-  }
-}
-
-}  // namespace
-
-void GemmNN(int m, int n, int k, float alpha, const float* a, const float* b,
-            float* c) {
-  GemmNNTN<false>(m, n, k, alpha, a, b, c);
-}
-
-void GemmTN(int m, int n, int k, float alpha, const float* a, const float* b,
-            float* c) {
-  GemmNNTN<true>(m, n, k, alpha, a, b, c);
-}
-
-void GemmNT(int m, int n, int k, float alpha, const float* a, const float* b,
-            float* c) {
-  // Both A rows and B rows are contiguous over kk, so each output is a
-  // dot product; tile 4 B rows so A streams once per 4 outputs.
-  constexpr int kJB = 4;
-  for (int i = 0; i < m; ++i) {
-    const float* __restrict__ arow = a + static_cast<size_t>(i) * k;
-    float* __restrict__ crow = c + static_cast<size_t>(i) * n;
-    int j0 = 0;
-    for (; j0 + kJB <= n; j0 += kJB) {
-      const float* __restrict__ b0 = b + static_cast<size_t>(j0 + 0) * k;
-      const float* __restrict__ b1 = b + static_cast<size_t>(j0 + 1) * k;
-      const float* __restrict__ b2 = b + static_cast<size_t>(j0 + 2) * k;
-      const float* __restrict__ b3 = b + static_cast<size_t>(j0 + 3) * k;
-      float acc[kJB][kKU] = {};
-      int kk = 0;
-      for (; kk + kKU <= k; kk += kKU) {
-        for (int l = 0; l < kKU; ++l) {
-          const float av = arow[kk + l];
-          acc[0][l] += av * b0[kk + l];
-          acc[1][l] += av * b1[kk + l];
-          acc[2][l] += av * b2[kk + l];
-          acc[3][l] += av * b3[kk + l];
-        }
-      }
-      for (; kk < k; ++kk) {
-        const float av = arow[kk];
-        acc[0][0] += av * b0[kk];
-        acc[1][0] += av * b1[kk];
-        acc[2][0] += av * b2[kk];
-        acc[3][0] += av * b3[kk];
-      }
-      for (int r = 0; r < kJB; ++r) {
-        float sum = 0.0f;
-        for (int l = 0; l < kKU; ++l) sum += acc[r][l];
-        crow[j0 + r] += alpha * sum;
-      }
-    }
-    for (; j0 < n; ++j0) {
-      const float* __restrict__ brow = b + static_cast<size_t>(j0) * k;
-      float acc[kKU] = {};
-      int kk = 0;
-      for (; kk + kKU <= k; kk += kKU) {
-        for (int l = 0; l < kKU; ++l) acc[l] += arow[kk + l] * brow[kk + l];
-      }
-      float sum = 0.0f;
-      for (int l = 0; l < kKU; ++l) sum += acc[l];
-      for (; kk < k; ++kk) sum += arow[kk] * brow[kk];
-      crow[j0] += alpha * sum;
-    }
-  }
-}
-
-void Axpy(size_t n, float alpha, const float* x, float* y) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
-}
-
-void Accumulate(size_t n, const float* x, float* y) {
-  for (size_t i = 0; i < n; ++i) y[i] += x[i];
-}
-
-void AddInto(size_t n, const float* a, const float* b, float* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
-}
-
-void SubInto(size_t n, const float* a, const float* b, float* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = a[i] - b[i];
-}
-
-void MulInto(size_t n, const float* a, const float* b, float* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
-}
-
-void MulAccumulate(size_t n, const float* x, const float* w, float* y) {
-  for (size_t i = 0; i < n; ++i) y[i] += x[i] * w[i];
-}
-
-void ScaleInto(size_t n, float s, const float* x, float* out) {
-  for (size_t i = 0; i < n; ++i) out[i] = s * x[i];
-}
-
-void AddBiasRows(int rows, int cols, const float* bias, float* inout) {
-  for (int r = 0; r < rows; ++r) {
-    float* __restrict__ row = inout + static_cast<size_t>(r) * cols;
-    for (int c = 0; c < cols; ++c) row[c] += bias[c];
-  }
-}
-
-void ColSumAccumulate(int rows, int cols, const float* src, float* dst) {
-  for (int r = 0; r < rows; ++r) {
-    const float* __restrict__ row = src + static_cast<size_t>(r) * cols;
-    for (int c = 0; c < cols; ++c) dst[c] += row[c];
-  }
-}
-
-void SoftmaxRows(int rows, int cols, const float* x, float* y) {
-  for (int r = 0; r < rows; ++r) {
-    const float* __restrict__ in = x + static_cast<size_t>(r) * cols;
-    float* __restrict__ out = y + static_cast<size_t>(r) * cols;
-    float mx = in[0];
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    float denom = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      out[c] = std::exp(in[c] - mx);
-      denom += out[c];
-    }
-    // Divide (not multiply by reciprocal): bit-identical to the scalar
-    // reference, which model-level regression thresholds were set on.
-    for (int c = 0; c < cols; ++c) out[c] /= denom;
-  }
-}
-
-void SoftmaxBackwardRows(int rows, int cols, const float* y, const float* gy,
-                         float* gx) {
-  for (int r = 0; r < rows; ++r) {
-    const float* __restrict__ yr = y + static_cast<size_t>(r) * cols;
-    const float* __restrict__ gyr = gy + static_cast<size_t>(r) * cols;
-    float* __restrict__ gxr = gx + static_cast<size_t>(r) * cols;
-    float dot = 0.0f;
-    for (int c = 0; c < cols; ++c) dot += gyr[c] * yr[c];
-    for (int c = 0; c < cols; ++c) gxr[c] += (gyr[c] - dot) * yr[c];
-  }
-}
-
-void LayerNormRows(int rows, int cols, float eps, const float* x,
-                   const float* gamma, const float* beta, float* y,
-                   float* xhat, float* inv_std) {
-  const float inv_cols = 1.0f / static_cast<float>(cols);
-  for (int r = 0; r < rows; ++r) {
-    const float* __restrict__ in = x + static_cast<size_t>(r) * cols;
-    float* __restrict__ out = y + static_cast<size_t>(r) * cols;
-    float* __restrict__ xh = xhat + static_cast<size_t>(r) * cols;
-    float mean = 0.0f;
-    for (int c = 0; c < cols; ++c) mean += in[c];
-    mean *= inv_cols;
-    float var = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      const float d = in[c] - mean;
-      var += d * d;
-    }
-    var *= inv_cols;
-    const float istd = 1.0f / std::sqrt(var + eps);
-    inv_std[r] = istd;
-    for (int c = 0; c < cols; ++c) {
-      xh[c] = (in[c] - mean) * istd;
-      out[c] = gamma[c] * xh[c] + beta[c];
-    }
-  }
-}
-
-void LayerNormBackwardRows(int rows, int cols, const float* xhat,
-                           const float* inv_std, const float* gamma,
-                           const float* gy, float* gx, float* ggamma,
-                           float* gbeta) {
-  const float inv_cols = 1.0f / static_cast<float>(cols);
-  for (int r = 0; r < rows; ++r) {
-    const float* __restrict__ gyr = gy + static_cast<size_t>(r) * cols;
-    const float* __restrict__ xh = xhat + static_cast<size_t>(r) * cols;
-    if (ggamma != nullptr) {
-      for (int c = 0; c < cols; ++c) ggamma[c] += gyr[c] * xh[c];
-    }
-    if (gbeta != nullptr) {
-      for (int c = 0; c < cols; ++c) gbeta[c] += gyr[c];
-    }
-    if (gx != nullptr) {
-      // dxhat = gy * gamma; dx = istd * (dxhat - mean(dxhat)
-      //        - xhat * mean(dxhat * xhat))
-      float* __restrict__ gxr = gx + static_cast<size_t>(r) * cols;
-      float mean_dxhat = 0.0f, mean_dxhat_xhat = 0.0f;
-      for (int c = 0; c < cols; ++c) {
-        const float dxh = gyr[c] * gamma[c];
-        mean_dxhat += dxh;
-        mean_dxhat_xhat += dxh * xh[c];
-      }
-      mean_dxhat *= inv_cols;
-      mean_dxhat_xhat *= inv_cols;
-      const float istd = inv_std[r];
-      for (int c = 0; c < cols; ++c) {
-        const float dxh = gyr[c] * gamma[c];
-        gxr[c] += istd * (dxh - mean_dxhat - xh[c] * mean_dxhat_xhat);
-      }
-    }
-  }
-}
-
-namespace {
-
-// Minimum work before a kernel fans out: below this, dispatch overhead
-// (one epoch bump + chunk claims) exceeds the compute being split.
-constexpr int64_t kMinParallelFlops = 64 * 1024;  // multiply-adds
-constexpr int64_t kMinParallelElems = 8 * 1024;   // row-op elements
-
-/// True when the wrapper should just run the serial kernel.
 bool RunSerial(const ThreadPool* pool, int rows, int64_t work,
                int64_t min_work) {
   return pool == nullptr || pool->num_threads() <= 1 || rows < 2 ||
          work < min_work || ParallelismBanned();
 }
 
-/// Rows per chunk targeting ~4 chunks per lane, rounded up to
-/// `multiple` (the GEMM micro-tile height) with a floor of one
-/// multiple.
 int64_t RowGrain(int rows, int lanes, int multiple) {
   const int64_t target =
       (static_cast<int64_t>(rows) + 4 * lanes - 1) / (4 * lanes);
@@ -318,7 +33,12 @@ int64_t RowGrain(int rows, int lanes, int multiple) {
   return std::max<int64_t>(multiple, aligned);
 }
 
-}  // namespace
+}  // namespace internal
+
+using internal::kMinParallelElems;
+using internal::kMinParallelFlops;
+using internal::RowGrain;
+using internal::RunSerial;
 
 void ParallelGemmNN(ThreadPool* pool, int m, int n, int k, float alpha,
                     const float* a, const float* b, float* c) {

@@ -2,6 +2,9 @@
 #define HIERGAT_TENSOR_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
+
+#include "core/quant.h"
 
 namespace hiergat {
 
@@ -10,11 +13,18 @@ class ThreadPool;  // tensor/threadpool.h
 namespace kernels {
 
 // Raw-pointer compute kernels shared by forward ops and backward
-// closures (tensor/ops.cc). This layer separates *what* an op computes
-// from *how* the bytes move: everything here is plain dense row-major
-// float math with no Tensor, shape, or autograd dependency, written so
-// the compiler's vectorizer gets contiguous fixed-width inner loops
-// (register-blocked GEMM micro-tiles, unrolled reductions).
+// closures. This layer separates *what* an op computes from *how* the
+// bytes move: everything here is plain dense row-major float math with
+// no Tensor, shape, or autograd dependency, written so the compiler's
+// vectorizer gets contiguous fixed-width inner loops (register-blocked
+// GEMM micro-tiles, unrolled reductions).
+//
+// This namespace is the *scalar reference backend*: the bodies live in
+// kernel_body.inc and are compiled here at the build's baseline ISA.
+// tensor/backend.{h,cc} re-compiles the same bodies per wide ISA
+// (AVX2) and dispatches through a registry resolved at startup; ops.cc
+// calls backend::, never kernels:: directly. Tests and backward paths
+// that want the reference semantics keep calling kernels::.
 //
 // Conventions:
 //  - GEMM kernels *accumulate*: C += alpha * op(A) * op(B). Callers
@@ -39,6 +49,29 @@ void GemmNT(int m, int n, int k, float alpha, const float* a, const float* b,
 /// the MatMul backward pass.
 void GemmTN(int m, int n, int k, float alpha, const float* a, const float* b,
             float* c);
+
+/// y[n] += alpha * x[k] * B[k,n] — single-row GEMM (the sgemv shape of
+/// per-pair scoring); shares the GemmNN tiling with m = 1.
+void Gemv(int n, int k, float alpha, const float* x, const float* b,
+          float* y);
+
+// -- Quantized (Q8_0) ----------------------------------------------------
+//
+// f32 activations x Q8_0 block-quantized weights (core/quant.h). Wq is
+// the row-wise quantization of a [k, n] row-major weight matrix: row
+// kk holds q8::BlocksPerRow(n) consecutive blocks.
+
+/// C[m,n] += A[m,k] * dequant(Wq)[k,n].
+void GemmF32Q8(int m, int n, int k, const float* a, const q8::Block* wq,
+               float* c);
+
+/// out[rows,cols] = dequant(blocks) — dense expansion of a quantized
+/// [rows, cols] table (quantized embedding-row gather).
+void DequantizeRowsQ8(int rows, int cols, const q8::Block* blocks,
+                      float* out);
+
+/// sum_j x[j] * dequant(blocks)[j] over one quantized row of length n.
+float DotQ8(int n, const float* x, const q8::Block* blocks);
 
 // -- Elementwise ---------------------------------------------------------
 
@@ -130,6 +163,33 @@ void ParallelLayerNormRows(ThreadPool* pool, int rows, int cols, float eps,
                            const float* x, const float* gamma,
                            const float* beta, float* y, float* xhat,
                            float* inv_std);
+
+// -- Parallel-dispatch policy --------------------------------------------
+//
+// Shared by the wrappers above and the backend-registry wrappers
+// (tensor/backend.cc) so both layers split rows identically — chunk
+// boundaries are part of the bit-identity contract.
+
+namespace internal {
+
+// Minimum work before a kernel fans out: below this, dispatch overhead
+// (one epoch bump + chunk claims) exceeds the compute being split.
+constexpr int64_t kMinParallelFlops = 64 * 1024;  // multiply-adds
+constexpr int64_t kMinParallelElems = 8 * 1024;   // row-op elements
+
+// GEMM row chunks stay aligned to the kMR micro-tile height.
+constexpr int kGemmRowMultiple = 4;
+
+/// True when a parallel wrapper should just run the serial kernel.
+bool RunSerial(const ThreadPool* pool, int rows, int64_t work,
+               int64_t min_work);
+
+/// Rows per chunk targeting ~4 chunks per lane, rounded up to
+/// `multiple` (the GEMM micro-tile height) with a floor of one
+/// multiple.
+int64_t RowGrain(int rows, int lanes, int multiple);
+
+}  // namespace internal
 
 }  // namespace kernels
 }  // namespace hiergat

@@ -4,8 +4,9 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "core/quant.h"
+#include "tensor/backend.h"
 #include "tensor/graph.h"
-#include "tensor/kernels.h"
 #include "tensor/pool.h"
 #include "tensor/threadpool.h"
 
@@ -85,14 +86,14 @@ Tensor Add(const Tensor& a, const Tensor& b) {
     Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
     const int rows = a.dim(0), cols = a.dim(1);
     std::copy(a.data().begin(), a.data().end(), out.data().begin());
-    kernels::AddBiasRows(rows, cols, b.data().data(), out.data().data());
+    backend::AddBiasRows(rows, cols, b.data().data(), out.data().data());
     if (Capturing()) {
       graph::Record(out, {a, b}, "Add(bias)",
                     [rows, cols](const float* const* in, float* const*,
                                  float* op, ThreadPool*) {
                       const size_t n = static_cast<size_t>(rows) * cols;
                       std::copy(in[0], in[0] + n, op);
-                      kernels::AddBiasRows(rows, cols, in[1], op);
+                      backend::AddBiasRows(rows, cols, in[1], op);
                     });
     }
     if (rg) {
@@ -100,12 +101,12 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       out.set_backward_fn([ai, bi, oi, rows, cols]() {
         if (ai->requires_grad) {
           ai->EnsureGrad();
-          kernels::Accumulate(ai->data().size(), oi->grad.data(),
+          backend::Accumulate(ai->data().size(), oi->grad.data(),
                               ai->grad.data());
         }
         if (bi->requires_grad) {
           bi->EnsureGrad();
-          kernels::ColSumAccumulate(rows, cols, oi->grad.data(),
+          backend::ColSumAccumulate(rows, cols, oi->grad.data(),
                                     bi->grad.data());
         }
       });
@@ -114,25 +115,25 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   }
   CheckSameShape(a, b, "Add");
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
-  kernels::AddInto(a.data().size(), a.data().data(), b.data().data(),
+  backend::AddInto(a.data().size(), a.data().data(), b.data().data(),
                    out.data().data());
   if (Capturing()) {
     const size_t n = a.data().size();
     graph::Record(out, {a, b}, "Add",
                   [n](const float* const* in, float* const*, float* op,
-                      ThreadPool*) { kernels::AddInto(n, in[0], in[1], op); });
+                      ThreadPool*) { backend::AddInto(n, in[0], in[1], op); });
   }
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi]() {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        kernels::Accumulate(ai->data().size(), oi->grad.data(),
+        backend::Accumulate(ai->data().size(), oi->grad.data(),
                             ai->grad.data());
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        kernels::Accumulate(bi->data().size(), oi->grad.data(),
+        backend::Accumulate(bi->data().size(), oi->grad.data(),
                             bi->grad.data());
       }
     });
@@ -151,7 +152,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
     const float* bd = b.data().data();
     float* od = out.data().data();
     for (int r = 0; r < rows; ++r) {
-      kernels::SubInto(static_cast<size_t>(cols),
+      backend::SubInto(static_cast<size_t>(cols),
                        ad + static_cast<size_t>(r) * cols, bd,
                        od + static_cast<size_t>(r) * cols);
     }
@@ -160,7 +161,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
                     [rows, cols](const float* const* in, float* const*,
                                  float* op, ThreadPool*) {
                       for (int r = 0; r < rows; ++r) {
-                        kernels::SubInto(static_cast<size_t>(cols),
+                        backend::SubInto(static_cast<size_t>(cols),
                                          in[0] + static_cast<size_t>(r) * cols,
                                          in[1],
                                          op + static_cast<size_t>(r) * cols);
@@ -172,13 +173,13 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       out.set_backward_fn([ai, bi, oi, rows, cols]() {
         if (ai->requires_grad) {
           ai->EnsureGrad();
-          kernels::Accumulate(ai->data().size(), oi->grad.data(),
+          backend::Accumulate(ai->data().size(), oi->grad.data(),
                               ai->grad.data());
         }
         if (bi->requires_grad) {
           bi->EnsureGrad();
           for (int r = 0; r < rows; ++r) {
-            kernels::Axpy(static_cast<size_t>(cols), -1.0f,
+            backend::Axpy(static_cast<size_t>(cols), -1.0f,
                           oi->grad.data() + static_cast<size_t>(r) * cols,
                           bi->grad.data());
           }
@@ -189,25 +190,25 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   }
   CheckSameShape(a, b, "Sub");
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
-  kernels::SubInto(a.data().size(), a.data().data(), b.data().data(),
+  backend::SubInto(a.data().size(), a.data().data(), b.data().data(),
                    out.data().data());
   if (Capturing()) {
     const size_t n = a.data().size();
     graph::Record(out, {a, b}, "Sub",
                   [n](const float* const* in, float* const*, float* op,
-                      ThreadPool*) { kernels::SubInto(n, in[0], in[1], op); });
+                      ThreadPool*) { backend::SubInto(n, in[0], in[1], op); });
   }
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi]() {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        kernels::Accumulate(ai->data().size(), oi->grad.data(),
+        backend::Accumulate(ai->data().size(), oi->grad.data(),
                             ai->grad.data());
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        kernels::Axpy(bi->data().size(), -1.0f, oi->grad.data(),
+        backend::Axpy(bi->data().size(), -1.0f, oi->grad.data(),
                       bi->grad.data());
       }
     });
@@ -219,25 +220,25 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
   const bool rg = AnyRequiresGrad(a, b);
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a, b});
-  kernels::MulInto(a.data().size(), a.data().data(), b.data().data(),
+  backend::MulInto(a.data().size(), a.data().data(), b.data().data(),
                    out.data().data());
   if (Capturing()) {
     const size_t n = a.data().size();
     graph::Record(out, {a, b}, "Mul",
                   [n](const float* const* in, float* const*, float* op,
-                      ThreadPool*) { kernels::MulInto(n, in[0], in[1], op); });
+                      ThreadPool*) { backend::MulInto(n, in[0], in[1], op); });
   }
   if (rg) {
     Impl ai = a.impl().get(), bi = b.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, bi, oi]() {
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        kernels::MulAccumulate(ai->data().size(), oi->grad.data(),
+        backend::MulAccumulate(ai->data().size(), oi->grad.data(),
                                bi->data().data(), ai->grad.data());
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        kernels::MulAccumulate(bi->data().size(), oi->grad.data(),
+        backend::MulAccumulate(bi->data().size(), oi->grad.data(),
                                ai->data().data(), bi->grad.data());
       }
     });
@@ -248,19 +249,19 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor Scale(const Tensor& a, float s) {
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
-  kernels::ScaleInto(a.data().size(), s, a.data().data(),
+  backend::ScaleInto(a.data().size(), s, a.data().data(),
                      out.data().data());
   if (Capturing()) {
     const size_t n = a.data().size();
     graph::Record(out, {a}, "Scale",
                   [n, s](const float* const* in, float* const*, float* op,
-                         ThreadPool*) { kernels::ScaleInto(n, s, in[0], op); });
+                         ThreadPool*) { backend::ScaleInto(n, s, in[0], op); });
   }
   if (rg) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, s]() {
       ai->EnsureGrad();
-      kernels::Axpy(ai->data().size(), s, oi->grad.data(), ai->grad.data());
+      backend::Axpy(ai->data().size(), s, oi->grad.data(), ai->grad.data());
     });
   }
   return out;
@@ -285,7 +286,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::MakeNode({m, n}, rg, {a, b});
   // Fresh buffers come from the pool zero-filled, so the accumulating
   // GEMM kernel computes plain assignment here.
-  kernels::GemmNN(m, n, k, 1.0f, a.data().data(), b.data().data(),
+  backend::GemmNN(m, n, k, 1.0f, a.data().data(), b.data().data(),
                   out.data().data());
   if (Capturing()) {
     graph::Record(out, {a, b}, "MatMul",
@@ -293,7 +294,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                             ThreadPool* pool) {
                     // Arena slots are uninitialized; GEMM accumulates.
                     std::fill(op, op + static_cast<size_t>(m) * n, 0.0f);
-                    kernels::ParallelGemmNN(pool, m, n, k, 1.0f, in[0], in[1],
+                    backend::ParallelGemmNN(pool, m, n, k, 1.0f, in[0], in[1],
                                             op);
                   },
                   {}, 2LL * m * n * k);
@@ -305,13 +306,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       if (ai->requires_grad) {
         ai->EnsureGrad();
         // dA += dOut * B^T  ([m, n] x [k, n]^T).
-        kernels::GemmNT(m, k, n, 1.0f, go, bi->data().data(),
+        backend::GemmNT(m, k, n, 1.0f, go, bi->data().data(),
                         ai->grad.data());
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
         // dB += A^T * dOut  ([m, k]^T x [m, n]).
-        kernels::GemmTN(k, n, m, 1.0f, ai->data().data(), go,
+        backend::GemmTN(k, n, m, 1.0f, ai->data().data(), go,
                         bi->grad.data());
       }
     });
@@ -364,7 +365,7 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi]() {
       ai->EnsureGrad();
-      kernels::Accumulate(ai->data().size(), oi->grad.data(),
+      backend::Accumulate(ai->data().size(), oi->grad.data(),
                           ai->grad.data());
     });
   }
@@ -416,7 +417,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
       for (const Impl& pi : impls) {
         if (pi->requires_grad) {
           pi->EnsureGrad();
-          kernels::Accumulate(pi->data().size(), oi->grad.data() + offset,
+          backend::Accumulate(pi->data().size(), oi->grad.data() + offset,
                               pi->grad.data());
         }
         offset += pi->data().size();
@@ -491,7 +492,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
           part->EnsureGrad();
           const float* go = oi->grad.data() + col_offset;
           for (int r = 0; r < rows; ++r) {
-            kernels::Accumulate(static_cast<size_t>(pc),
+            backend::Accumulate(static_cast<size_t>(pc),
                                 go + static_cast<size_t>(r) * cols,
                                 part->grad.data() +
                                     static_cast<size_t>(r) * pc);
@@ -521,7 +522,7 @@ Tensor SliceRows(const Tensor& a, int begin, int end) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, begin, cols]() {
       ai->EnsureGrad();
-      kernels::Accumulate(oi->data().size(), oi->grad.data(),
+      backend::Accumulate(oi->data().size(), oi->grad.data(),
                           ai->grad.data() +
                               static_cast<size_t>(begin) * cols);
     });
@@ -561,7 +562,7 @@ Tensor SliceCols(const Tensor& a, int begin, int end) {
       ai->EnsureGrad();
       float* ga = ai->grad.data() + begin;
       for (int r = 0; r < rows; ++r) {
-        kernels::Accumulate(static_cast<size_t>(width),
+        backend::Accumulate(static_cast<size_t>(width),
                             oi->grad.data() + static_cast<size_t>(r) * width,
                             ga + static_cast<size_t>(r) * cols);
       }
@@ -602,7 +603,7 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
     out.set_backward_fn([ai, oi, indices, cols]() {
       ai->EnsureGrad();
       for (size_t i = 0; i < indices.size(); ++i) {
-        kernels::Accumulate(static_cast<size_t>(cols),
+        backend::Accumulate(static_cast<size_t>(cols),
                             oi->grad.data() + i * cols,
                             ai->grad.data() +
                                 static_cast<size_t>(indices[i]) * cols);
@@ -697,13 +698,13 @@ Tensor SumRows(const Tensor& a) {
   const int rows = a.dim(0), cols = a.dim(1);
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode({1, cols}, rg, {a});
-  kernels::ColSumAccumulate(rows, cols, a.data().data(), out.data().data());
+  backend::ColSumAccumulate(rows, cols, a.data().data(), out.data().data());
   if (Capturing()) {
     graph::Record(out, {a}, "SumRows",
                   [rows, cols](const float* const* in, float* const*,
                                float* op, ThreadPool*) {
                     std::fill(op, op + cols, 0.0f);
-                    kernels::ColSumAccumulate(rows, cols, in[0], op);
+                    backend::ColSumAccumulate(rows, cols, in[0], op);
                   });
   }
   if (rg) {
@@ -711,7 +712,7 @@ Tensor SumRows(const Tensor& a) {
     out.set_backward_fn([ai, oi, rows, cols]() {
       ai->EnsureGrad();
       for (int r = 0; r < rows; ++r) {
-        kernels::Accumulate(static_cast<size_t>(cols), oi->grad.data(),
+        backend::Accumulate(static_cast<size_t>(cols), oi->grad.data(),
                             ai->grad.data() + static_cast<size_t>(r) * cols);
       }
     });
@@ -728,13 +729,13 @@ Tensor Softmax(const Tensor& a) {
   const int cols = a.rank() == 2 ? a.dim(1) : a.dim(0);
   const bool rg = AnyRequiresGrad(a);
   Tensor out = Tensor::MakeNode(a.shape(), rg, {a});
-  kernels::SoftmaxRows(rows, cols, a.data().data(), out.data().data());
+  backend::SoftmaxRows(rows, cols, a.data().data(), out.data().data());
   if (Capturing()) {
     // ~5 FLOPs per element: max scan, subtract, exp, sum, divide.
     graph::Record(out, {a}, "Softmax",
                   [rows, cols](const float* const* in, float* const*,
                                float* op, ThreadPool* pool) {
-                    kernels::ParallelSoftmaxRows(pool, rows, cols, in[0], op);
+                    backend::ParallelSoftmaxRows(pool, rows, cols, in[0], op);
                   },
                   {}, 5LL * rows * cols);
   }
@@ -742,7 +743,7 @@ Tensor Softmax(const Tensor& a) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, rows, cols]() {
       ai->EnsureGrad();
-      kernels::SoftmaxBackwardRows(rows, cols, oi->data().data(),
+      backend::SoftmaxBackwardRows(rows, cols, oi->data().data(),
                                    oi->grad.data(), ai->grad.data());
     });
   }
@@ -766,7 +767,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     auto& pool = internal_tensor::BufferPool::ThreadLocal();
     std::vector<float> xhat = pool.Acquire(x.data().size());
     std::vector<float> inv_std = pool.Acquire(static_cast<size_t>(rows));
-    kernels::LayerNormRows(rows, cols, eps, x.data().data(),
+    backend::LayerNormRows(rows, cols, eps, x.data().data(),
                            gamma.data().data(), beta.data().data(),
                            out.data().data(), xhat.data(), inv_std.data());
     pool.Release(std::move(xhat));
@@ -778,7 +779,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
           out, {x, gamma, beta}, "LayerNorm",
           [rows, cols, eps](const float* const* in, float* const* scratch,
                             float* op, ThreadPool* pool) {
-            kernels::ParallelLayerNormRows(pool, rows, cols, eps, in[0],
+            backend::ParallelLayerNormRows(pool, rows, cols, eps, in[0],
                                            in[1], in[2], op, scratch[0],
                                            scratch[1]);
           },
@@ -791,7 +792,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   auto inv_std = std::make_shared<std::vector<float>>(
       static_cast<size_t>(rows));
   auto xhat = std::make_shared<std::vector<float>>(x.data().size());
-  kernels::LayerNormRows(rows, cols, eps, x.data().data(),
+  backend::LayerNormRows(rows, cols, eps, x.data().data(),
                          gamma.data().data(), beta.data().data(),
                          out.data().data(), xhat->data(), inv_std->data());
   {
@@ -813,7 +814,7 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
         bi->EnsureGrad();
         gbeta = bi->grad.data();
       }
-      kernels::LayerNormBackwardRows(rows, cols, xhat->data(),
+      backend::LayerNormBackwardRows(rows, cols, xhat->data(),
                                      inv_std->data(), gi->data().data(),
                                      oi->grad.data(), gx, ggamma, gbeta);
     });
@@ -840,10 +841,10 @@ Tensor LinearOp(const Tensor& x, const Tensor& w, const Tensor& bias) {
   std::vector<Tensor> parents = {x, w};
   if (has_bias) parents.push_back(bias);
   Tensor out = Tensor::MakeNode({m, n}, rg, std::move(parents));
-  kernels::GemmNN(m, n, k, 1.0f, x.data().data(), w.data().data(),
+  backend::GemmNN(m, n, k, 1.0f, x.data().data(), w.data().data(),
                   out.data().data());
   if (has_bias) {
-    kernels::AddBiasRows(m, n, bias.data().data(), out.data().data());
+    backend::AddBiasRows(m, n, bias.data().data(), out.data().data());
   }
   if (Capturing()) {
     std::vector<Tensor> rec_inputs = {x, w};
@@ -852,9 +853,9 @@ Tensor LinearOp(const Tensor& x, const Tensor& w, const Tensor& bias) {
                   [m, n, k, has_bias](const float* const* in, float* const*,
                                       float* op, ThreadPool* pool) {
                     std::fill(op, op + static_cast<size_t>(m) * n, 0.0f);
-                    kernels::ParallelGemmNN(pool, m, n, k, 1.0f, in[0], in[1],
+                    backend::ParallelGemmNN(pool, m, n, k, 1.0f, in[0], in[1],
                                             op);
-                    if (has_bias) kernels::AddBiasRows(m, n, in[2], op);
+                    if (has_bias) backend::AddBiasRows(m, n, in[2], op);
                   },
                   {}, 2LL * m * n * k + (has_bias ? 1LL * m * n : 0));
   }
@@ -866,20 +867,72 @@ Tensor LinearOp(const Tensor& x, const Tensor& w, const Tensor& bias) {
       if (xi->requires_grad) {
         xi->EnsureGrad();
         // dX += dOut * W^T.
-        kernels::GemmNT(m, k, n, 1.0f, go, wi->data().data(),
+        backend::GemmNT(m, k, n, 1.0f, go, wi->data().data(),
                         xi->grad.data());
       }
       if (wi->requires_grad) {
         wi->EnsureGrad();
         // dW += X^T * dOut.
-        kernels::GemmTN(k, n, m, 1.0f, xi->data().data(), go,
+        backend::GemmTN(k, n, m, 1.0f, xi->data().data(), go,
                         wi->grad.data());
       }
       if (bi != nullptr && bi->requires_grad) {
         bi->EnsureGrad();
-        kernels::ColSumAccumulate(m, n, go, bi->grad.data());
+        backend::ColSumAccumulate(m, n, go, bi->grad.data());
       }
     });
+  }
+  return out;
+}
+
+Tensor LinearQ8Op(const Tensor& x,
+                  const std::shared_ptr<q8::QuantizedTensor>& wq,
+                  const Tensor& bias) {
+  HG_CHECK_EQ(x.rank(), 2);
+  HG_CHECK(wq != nullptr && wq->active()) << "LinearQ8Op: inactive weights";
+  const int m = x.dim(0), k = x.dim(1), n = wq->cols();
+  HG_CHECK_EQ(k, wq->rows())
+      << "LinearQ8Op " << ShapeToString(x.shape()) << " x q8[" << wq->rows()
+      << ", " << wq->cols() << "]";
+  const bool has_bias = bias.defined();
+  if (has_bias) {
+    HG_CHECK_EQ(bias.rank(), 1);
+    HG_CHECK_EQ(bias.dim(0), n);
+  }
+  // Inference-only: no backward closure, output never requires grad
+  // (nn::Linear routes through the f32 path whenever gradients are on).
+  std::vector<Tensor> parents = {x};
+  if (has_bias) parents.push_back(bias);
+  Tensor out = Tensor::MakeNode({m, n}, /*requires_grad=*/false,
+                                std::move(parents));
+  backend::GemmF32Q8(m, n, k, x.data().data(), wq->blocks().data(),
+                     out.data().data());
+  if (has_bias) {
+    backend::AddBiasRows(m, n, bias.data().data(), out.data().data());
+  }
+  if (Capturing()) {
+    std::vector<Tensor> rec_inputs = {x};
+    if (has_bias) rec_inputs.push_back(bias);
+    // The weight blocks live in the closure, not in a recorded value,
+    // so the planner cannot see their traffic — pass the exact bytes:
+    // f32 activations in/out (+ bias) plus the Q8_0 wire bytes
+    // actually streamed per replay.
+    const int64_t bytes =
+        (static_cast<int64_t>(m) * k + static_cast<int64_t>(m) * n +
+         (has_bias ? n : 0)) *
+            static_cast<int64_t>(sizeof(float)) +
+        static_cast<int64_t>(wq->wire_bytes());
+    graph::Record(out, rec_inputs, "LinearQ8",
+                  [m, n, k, has_bias, wq](const float* const* in,
+                                          float* const*, float* op,
+                                          ThreadPool* pool) {
+                    std::fill(op, op + static_cast<size_t>(m) * n, 0.0f);
+                    backend::ParallelGemmF32Q8(pool, m, n, k, in[0],
+                                               wq->blocks().data(), op);
+                    if (has_bias) backend::AddBiasRows(m, n, in[1], op);
+                  },
+                  {}, 2LL * m * n * k + (has_bias ? 1LL * m * n : 0),
+                  bytes);
   }
   return out;
 }
@@ -908,11 +961,11 @@ Tensor AttentionScores(const Tensor& q, const Tensor& k, float scale,
   // scores = scale * Q * K^T (+ mask), softmaxed per row, all in the
   // output buffer — no Transpose node, no scores/scaled temporaries.
   float* od = out.data().data();
-  kernels::GemmNT(lq, lk, d, scale, q.data().data(), k.data().data(), od);
+  backend::GemmNT(lq, lk, d, scale, q.data().data(), k.data().data(), od);
   if (has_mask) {
-    kernels::Accumulate(out.data().size(), mask.data().data(), od);
+    backend::Accumulate(out.data().size(), mask.data().data(), od);
   }
-  kernels::SoftmaxRows(lq, lk, od, od);
+  backend::SoftmaxRows(lq, lk, od, od);
   if (Capturing()) {
     std::vector<Tensor> rec_inputs = {q, k};
     if (has_mask) rec_inputs.push_back(mask);
@@ -923,13 +976,13 @@ Tensor AttentionScores(const Tensor& q, const Tensor& k, float scale,
                                                float* const*, float* op,
                                                ThreadPool* pool) {
                     std::fill(op, op + static_cast<size_t>(lq) * lk, 0.0f);
-                    kernels::ParallelGemmNT(pool, lq, lk, d, scale, in[0],
+                    backend::ParallelGemmNT(pool, lq, lk, d, scale, in[0],
                                             in[1], op);
                     if (has_mask) {
-                      kernels::Accumulate(static_cast<size_t>(lq) * lk, in[2],
+                      backend::Accumulate(static_cast<size_t>(lq) * lk, in[2],
                                           op);
                     }
-                    kernels::ParallelSoftmaxRows(pool, lq, lk, op, op);
+                    backend::ParallelSoftmaxRows(pool, lq, lk, op, op);
                   },
                   {},
                   2LL * lq * lk * d + (has_mask ? 1LL * lq * lk : 0) +
@@ -944,21 +997,21 @@ Tensor AttentionScores(const Tensor& q, const Tensor& k, float scale,
       auto& pool = internal_tensor::BufferPool::ThreadLocal();
       std::vector<float> gs =
           pool.Acquire(static_cast<size_t>(lq) * lk);
-      kernels::SoftmaxBackwardRows(lq, lk, oi->data().data(),
+      backend::SoftmaxBackwardRows(lq, lk, oi->data().data(),
                                    oi->grad.data(), gs.data());
       if (qi->requires_grad) {
         qi->EnsureGrad();
-        kernels::GemmNN(lq, d, lk, scale, gs.data(), ki->data().data(),
+        backend::GemmNN(lq, d, lk, scale, gs.data(), ki->data().data(),
                         qi->grad.data());
       }
       if (ki->requires_grad) {
         ki->EnsureGrad();
-        kernels::GemmTN(lk, d, lq, scale, gs.data(), qi->data().data(),
+        backend::GemmTN(lk, d, lq, scale, gs.data(), qi->data().data(),
                         ki->grad.data());
       }
       if (mi != nullptr && mi->requires_grad) {
         mi->EnsureGrad();
-        kernels::Accumulate(mi->data().size(), gs.data(), mi->grad.data());
+        backend::Accumulate(mi->data().size(), gs.data(), mi->grad.data());
       }
       internal_tensor::BufferPool::ReleaseToCurrentThread(std::move(gs));
     });
@@ -968,6 +1021,29 @@ Tensor AttentionScores(const Tensor& q, const Tensor& k, float scale,
 
 Tensor EmbeddingLookup(const Tensor& weight, const std::vector<int>& ids) {
   return GatherRows(weight, ids);
+}
+
+Tensor EmbeddingLookupQ8(const std::shared_ptr<q8::QuantizedTensor>& table,
+                         const std::vector<int>& ids) {
+  HG_CHECK(table != nullptr && table->active())
+      << "EmbeddingLookupQ8: inactive table";
+  // Eager-only: the output is produced from closure-held blocks with no
+  // recorded inputs, so a capture could not replay it — callers
+  // (nn::Embedding) fall back to the f32 path while capturing, and any
+  // stray use under capture poisons the trace via the unclaimed check.
+  const int cols = table->cols();
+  const int bpr = table->blocks_per_row();
+  Tensor out = Tensor::MakeNode({static_cast<int>(ids.size()), cols},
+                                /*requires_grad=*/false, {});
+  const q8::Block* blocks = table->blocks().data();
+  float* od = out.data().data();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    HG_CHECK(ids[i] >= 0 && ids[i] < table->rows());
+    backend::DequantizeRowsQ8(
+        1, cols, blocks + static_cast<size_t>(ids[i]) * bpr,
+        od + i * cols);
+  }
+  return out;
 }
 
 Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
@@ -986,7 +1062,7 @@ Tensor Dropout(const Tensor& a, float p, Rng& rng, bool training) {
     Impl ai = a.impl().get(), oi = out.impl().get();
     out.set_backward_fn([ai, oi, mask]() {
       ai->EnsureGrad();
-      kernels::MulAccumulate(ai->data().size(), oi->grad.data(),
+      backend::MulAccumulate(ai->data().size(), oi->grad.data(),
                              mask->data(), ai->grad.data());
     });
   }
@@ -1002,7 +1078,7 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits,
   const bool rg = GradModeEnabled() && logits.requires_grad();
   Tensor out = Tensor::MakeNode({1}, rg, {logits});
   auto probs = std::make_shared<std::vector<float>>(logits.data().size());
-  kernels::SoftmaxRows(n, classes, logits.data().data(), probs->data());
+  backend::SoftmaxRows(n, classes, logits.data().data(), probs->data());
   float loss = 0.0f;
   for (int r = 0; r < n; ++r) {
     const float* p = probs->data() + static_cast<size_t>(r) * classes;

@@ -60,6 +60,12 @@ def check_file(path):
     for key, value in doc["params"].items():
         if not isinstance(value, str) and not is_finite_number(value):
             return fail(path, f'param "{key}" must be a string or finite number')
+    # Every BenchResult stamps the kernel backend that produced it
+    # (bench_common.cc), so results from different hosts/ISAs stay
+    # attributable.
+    backend = doc["params"].get("backend")
+    if not isinstance(backend, str) or not backend:
+        return fail(path, '"params.backend" must be a non-empty string')
 
     reps = doc["repetitions"]
     if not isinstance(reps, int) or isinstance(reps, bool) or reps < 1:

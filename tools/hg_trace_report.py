@@ -95,12 +95,23 @@ def main(argv):
     print("-" * len(header))
     for name, (count, total_us, flops, nbytes) in ranked[: args.top]:
         avg_us = total_us / count if count else 0.0
-        left = f"{name:<40} {count:>8} {total_us / 1e3:>10.3f} {avg_us:>9.1f}"
+        # Quantized-weight replay nodes (LinearQ8 etc.) are labeled so a
+        # mixed f32/q8 trace reads unambiguously; their bytes column
+        # already counts Q8_0 wire bytes, not dense f32 bytes.
+        label = f"{name} (q8)" if "Q8" in name else name
+        left = f"{label:<40} {count:>8} {total_us / 1e3:>10.3f} {avg_us:>9.1f}"
         if flops:
-            gflops = (flops / (total_us * 1e-6) / 1e9) if total_us > 0 else 0.0
+            # A span with cost estimates but zero recorded time (e.g. a
+            # ring-truncated or untimed replay) has no meaningful rate:
+            # show '-' rather than a bogus 0.00.
+            if total_us > 0:
+                gflops = flops / (total_us * 1e-6) / 1e9
+                rate = f"{gflops:>8.2f}"
+            else:
+                rate = f"{'-':>8}"
             print(
                 f"{left} {fmt_count(flops):>9} {fmt_count(nbytes):>9} "
-                f"{gflops:>8.2f}"
+                f"{rate}"
             )
         else:
             print(f"{left} {'-':>9} {'-':>9} {'-':>8}")
