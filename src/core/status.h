@@ -18,6 +18,12 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  /// Load shedding: the caller should back off and retry; used by the
+  /// serving admission control and the engine's non-blocking queue cap.
+  kResourceExhausted,
+  /// The component is (temporarily or permanently) not accepting work,
+  /// e.g. a batcher or server after Shutdown.
+  kUnavailable,
 };
 
 /// Lightweight error-reporting type. The library does not use exceptions;
@@ -50,6 +56,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -68,6 +68,11 @@ obs::Counter& QueueLimitWaitsCounter() {
       "hiergat.engine.queue_limit_waits");
   return counter;
 }
+obs::Counter& AdmissionRejectedCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.engine.admission.rejected");
+  return counter;
+}
 
 constexpr uint64_t Pack(int begin, int end) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(begin)) << 32) |
@@ -237,9 +242,10 @@ int InferenceEngine::ProcessRanges(int worker_id,
   }
 }
 
-void InferenceEngine::RunJob(int total,
-                             const std::function<void(int, int)>& process) {
-  if (total <= 0) return;
+bool InferenceEngine::RunJob(int total,
+                             const std::function<void(int, int)>& process,
+                             bool reject_if_full) {
+  if (total <= 0) return true;
   // Each RunJob is one request: root a fresh trace context unless the
   // caller already carries one (e.g. a server wrapping several engine
   // calls in a single request context).
@@ -253,6 +259,12 @@ void InferenceEngine::RunJob(int total,
   {
     std::unique_lock<std::mutex> queue_lock(queue_mutex_);
     if (max_queue_depth_ > 0 && queue_depth_ >= max_queue_depth_) {
+      if (reject_if_full) {
+        AdmissionRejectedCounter().Increment();
+        obs::RecordFlightEvent(obs::FlightEventKind::kServeShed,
+                               "engine.RunJob", total, queue_depth_);
+        return false;
+      }
       QueueLimitWaitsCounter().Increment();
       obs::RecordFlightEvent(obs::FlightEventKind::kQueueLimitWait,
                              "engine.RunJob", queue_depth_);
@@ -307,6 +319,7 @@ void InferenceEngine::RunJob(int total,
     QueueDepthGauge().Set(static_cast<double>(queue_depth_));
   }
   queue_cv_.notify_one();
+  return true;
 }
 
 std::vector<float> InferenceEngine::Score(const PairwiseModel& model,
@@ -319,6 +332,26 @@ std::vector<float> InferenceEngine::Score(const PairwiseModel& model,
     std::copy(part.begin(), part.end(),
               probabilities.begin() + begin);
   });
+  return probabilities;
+}
+
+StatusOr<std::vector<float>> InferenceEngine::TryScore(
+    const PairwiseModel& model, std::span<const EntityPair> pairs) {
+  std::vector<float> probabilities(pairs.size());
+  const bool ran = RunJob(
+      static_cast<int>(pairs.size()),
+      [&](int begin, int end) {
+        const std::vector<float> part = model.ScoreBatch(
+            pairs.subspan(static_cast<size_t>(begin),
+                          static_cast<size_t>(end - begin)));
+        std::copy(part.begin(), part.end(), probabilities.begin() + begin);
+      },
+      /*reject_if_full=*/true);
+  if (!ran) {
+    return Status::ResourceExhausted(
+        "engine: " + std::to_string(max_queue_depth_) +
+        " job(s) already queued (max_queue_depth)");
+  }
   return probabilities;
 }
 

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/status.h"
 #include "er/metrics.h"
 #include "er/model.h"
 #include "obs/trace.h"
@@ -75,6 +76,14 @@ class InferenceEngine {
   std::vector<float> Score(const PairwiseModel& model,
                            std::span<const EntityPair> pairs);
 
+  /// Non-blocking admission variant of Score for fan-in servers: when
+  /// `max_queue_depth` jobs are already enqueued, returns
+  /// ResourceExhausted immediately instead of blocking behind them
+  /// (each rejection is counted in `hiergat.engine.admission.rejected`).
+  /// With max_queue_depth == 0 this never rejects and equals Score.
+  StatusOr<std::vector<float>> TryScore(const PairwiseModel& model,
+                                        std::span<const EntityPair> pairs);
+
   /// P/R/F1 over the pairs, scored through the pool.
   EvalResult Evaluate(const PairwiseModel& model,
                       std::span<const EntityPair> pairs);
@@ -102,8 +111,11 @@ class InferenceEngine {
 
   /// Runs `process(begin, end)` over a partition of [0, total) on the
   /// pool and blocks until every index is processed and all workers are
-  /// idle again.
-  void RunJob(int total, const std::function<void(int, int)>& process);
+  /// idle again. When `reject_if_full` is set and the queue is at
+  /// max_queue_depth, returns false without running anything (the
+  /// TryScore path); otherwise always runs and returns true.
+  bool RunJob(int total, const std::function<void(int, int)>& process,
+              bool reject_if_full = false);
   void WorkerLoop(int worker_id);
   int ProcessRanges(int worker_id, const std::function<void(int, int)>& fn);
 

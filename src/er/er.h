@@ -42,7 +42,9 @@ struct MatcherOptions {
 /// Builds a pairwise matcher by name: "hiergat", "ditto", "deepmatcher"
 /// (alias "dm"), "dm+", or "magellan" (case-insensitive). Returns
 /// nullptr for unknown names. Deprecated in favor of Session::Open,
-/// which also wires up the engine and inference options.
+/// which also wires up the engine and inference options; for
+/// long-lived serving, put Sessions behind serve::ModelRegistry +
+/// serve::Server (DESIGN.md §14) instead of holding a raw model.
 std::unique_ptr<PairwiseModel> MakeMatcher(
     const std::string& name, const MatcherOptions& options = MatcherOptions());
 
@@ -55,7 +57,9 @@ std::unique_ptr<CollectiveModel> MakeCollectiveMatcher(
 /// written by PairwiseModel::Save. The model type is dispatched on the
 /// checkpoint's embedded tag, and the config travels with the weights,
 /// so no MatcherOptions are needed. Deprecated in favor of
-/// Session::Open with SessionOptions::checkpoint_path.
+/// Session::Open with SessionOptions::checkpoint_path — or, to serve
+/// the checkpoint over the network with batching and hot-swap,
+/// serve::ModelRegistry::LoadModel (DESIGN.md §14).
 StatusOr<std::unique_ptr<PairwiseModel>> LoadMatcher(const std::string& path);
 
 /// Collective counterpart of LoadMatcher (currently "HierGAT+").

@@ -6,9 +6,11 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <sstream>
 
 #include "core/logging.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -29,14 +31,19 @@ void WriteLine(const char* buf, size_t len) {
   (void)ignored;
 }
 
+// Trace drain destination for clean shutdowns; guarded by its own mutex
+// (never touched from signal handlers).
+std::mutex g_drain_path_mutex;
+std::string g_drain_path;  // NOLINT: process-lifetime, set-before-drain.
+
 void CrashSignalHandler(int signum) {
-  if (!g_dumped.exchange(true, std::memory_order_acq_rel)) {
-    char header[96];
-    const int n = std::snprintf(header, sizeof(header),
-                                "[flight recorder] fatal signal %d\n", signum);
-    if (n > 0) WriteLine(header, static_cast<size_t>(n));
-    FlightRecorder::Global().DumpToStderr();
+  char header[96];
+  const int n = std::snprintf(header, sizeof(header),
+                              "[flight recorder] fatal signal %d\n", signum);
+  if (n > 0 && !g_dumped.load(std::memory_order_acquire)) {
+    WriteLine(header, static_cast<size_t>(n));
   }
+  DrainAndDump(/*fatal=*/true);
   // Restore default disposition and re-raise so the process still dies
   // with the original signal (and core-dumps where configured).
   std::signal(signum, SIG_DFL);
@@ -47,9 +54,7 @@ void FatalCheckHook(const char* /*message*/) {
   // The failing check's message already went to stderr; record the
   // failure itself, then dump the tail of recent events once.
   RecordFlightEvent(FlightEventKind::kCheckFail, "HG_CHECK");
-  if (!g_dumped.exchange(true, std::memory_order_acq_rel)) {
-    FlightRecorder::Global().DumpToStderr();
-  }
+  DrainAndDump(/*fatal=*/true);
 }
 
 std::string JsonEscape(const char* in) {
@@ -76,8 +81,39 @@ const char* FlightEventKindName(FlightEventKind kind) {
     case FlightEventKind::kCheckFail: return "check_fail";
     case FlightEventKind::kLogError: return "log_error";
     case FlightEventKind::kSessionOpen: return "session_open";
+    case FlightEventKind::kServeReload: return "serve_reload";
+    case FlightEventKind::kServeShed: return "serve_shed";
   }
   return "unknown";
+}
+
+void SetTraceDrainPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_drain_path_mutex);
+  g_drain_path = path;
+}
+
+std::string TraceDrainPath() {
+  std::lock_guard<std::mutex> lock(g_drain_path_mutex);
+  return g_drain_path;
+}
+
+void DrainAndDump(bool fatal) {
+  if (!fatal) {
+    // Clean path only: serializing the trace rings allocates, which a
+    // crash handler must not do.
+    const std::string path = TraceDrainPath();
+    if (!path.empty() && TraceRecorder::Global().event_count() > 0) {
+      if (TraceRecorder::Global().WriteChromeTrace(path)) {
+        HG_LOG(INFO) << "drained " << TraceRecorder::Global().event_count()
+                     << " trace event(s) to " << path;
+      } else {
+        HG_LOG(ERROR) << "failed to drain trace events to " << path;
+      }
+    }
+  }
+  if (!g_dumped.exchange(true, std::memory_order_acq_rel)) {
+    FlightRecorder::Global().DumpToStderr();
+  }
 }
 
 FlightRecorder& FlightRecorder::Global() {

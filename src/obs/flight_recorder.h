@@ -23,6 +23,8 @@ enum class FlightEventKind : int32_t {
   kCheckFail = 9,     ///< HG_CHECK failed (recorded by the fatal hook).
   kLogError = 10,     ///< HG_LOG(ERROR) emitted.
   kSessionOpen = 11,  ///< er::Session opened a model.
+  kServeReload = 12,  ///< Registry hot-swapped a model; a = old refcount.
+  kServeShed = 13,    ///< Admission control shed a request; a = pairs.
 };
 
 /// Name for dumps; never returns null.
@@ -121,6 +123,24 @@ inline void RecordFlightEvent(FlightEventKind kind, const char* detail,
                               int64_t a = 0, int64_t b = 0) {
   FlightRecorder::Global().Record(kind, detail, a, b);
 }
+
+/// Where DrainAndDump writes buffered trace spans ("" = skip the trace
+/// flush, the default). Long-lived processes (tools/hiergat_serve) set
+/// this from a --trace_out flag so a clean-shutdown drain lands the
+/// Perfetto JSON on disk.
+void SetTraceDrainPath(const std::string& path);
+std::string TraceDrainPath();
+
+/// Flushes observability state before the process exits, exactly once:
+/// writes the trace rings to the drain path (when set and events are
+/// buffered) and dumps the flight-recorder ring to stderr. Both exit
+/// paths share it — the fatal path (HG_CHECK hook, fatal-signal
+/// handlers) calls DrainAndDump(/*fatal=*/true), which restricts to
+/// async-signal-safe work (the write(2) flight dump only); a clean
+/// SIGTERM/SIGINT drain calls DrainAndDump() and also gets the trace
+/// flush. Subsequent calls are no-ops, so a clean drain followed by a
+/// crash does not dump twice.
+void DrainAndDump(bool fatal = false);
 
 }  // namespace obs
 }  // namespace hiergat

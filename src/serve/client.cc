@@ -1,0 +1,162 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "core/logging.h"
+
+namespace hiergat {
+namespace serve {
+
+namespace {
+
+StatusOr<int> ConnectTcp(const std::string& host, int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("client: socket() failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("client: bad host address \"" + host +
+                                   "\"");
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::IOError("client: connect(" + host + ":" +
+                           std::to_string(port) + ") failed: " + err);
+  }
+  // Request/response round trips benefit from immediate sends.
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status FromWireStatus(const Response& response) {
+  switch (response.status) {
+    case WireStatus::kOk:
+      return Status::Ok();
+    case WireStatus::kInvalidArgument:
+      return Status::InvalidArgument(response.message);
+    case WireStatus::kNotFound:
+      return Status::NotFound(response.message);
+    case WireStatus::kResourceExhausted:
+      return Status::ResourceExhausted(response.message);
+    case WireStatus::kUnavailable:
+      return Status::Unavailable(response.message);
+    case WireStatus::kInternal:
+      break;
+  }
+  return Status::Internal(response.message);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                  int port) {
+  StatusOr<int> fd = ConnectTcp(host, port);
+  HG_RETURN_IF_ERROR(fd.status());
+  return std::unique_ptr<Client>(new Client(fd.value()));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+StatusOr<Response> Client::Call(const Request& request) {
+  HG_RETURN_IF_ERROR(WriteFrame(fd_, EncodeRequest(request)));
+  StatusOr<std::string> payload = ReadFramePayload(fd_);
+  if (!payload.ok()) {
+    if (payload.status().code() == StatusCode::kNotFound) {
+      return Status::IOError("client: server closed the connection");
+    }
+    return payload.status();
+  }
+  return DecodeResponse(payload.value());
+}
+
+StatusOr<std::vector<float>> Client::Score(
+    const std::string& model, const std::vector<EntityPair>& pairs,
+    uint64_t trace_id) {
+  Request request;
+  request.type = MessageType::kScore;
+  request.trace_id = trace_id;
+  request.score.model = model;
+  request.score.pairs = pairs;
+
+  StatusOr<Response> response = Call(request);
+  HG_RETURN_IF_ERROR(response.status());
+  HG_RETURN_IF_ERROR(FromWireStatus(response.value()));
+  if (response.value().scores.size() != pairs.size()) {
+    return Status::Internal(
+        "client: server returned " +
+        std::to_string(response.value().scores.size()) + " score(s) for " +
+        std::to_string(pairs.size()) + " pair(s)");
+  }
+  return std::move(response).value().scores;
+}
+
+Status Client::Reload(const std::string& model,
+                      const std::string& checkpoint_path) {
+  Request request;
+  request.type = MessageType::kReload;
+  request.reload.model = model;
+  request.reload.checkpoint_path = checkpoint_path;
+
+  StatusOr<Response> response = Call(request);
+  HG_RETURN_IF_ERROR(response.status());
+  return FromWireStatus(response.value());
+}
+
+Status Client::Ping() {
+  Request request;
+  request.type = MessageType::kPing;
+  StatusOr<Response> response = Call(request);
+  HG_RETURN_IF_ERROR(response.status());
+  return FromWireStatus(response.value());
+}
+
+StatusOr<std::string> HttpGet(const std::string& host, int port,
+                              const std::string& path) {
+  StatusOr<int> fd_or = ConnectTcp(host, port);
+  HG_RETURN_IF_ERROR(fd_or.status());
+  const int fd = fd_or.value();
+
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  Status written = WriteFull(fd, request.data(), request.size());
+  if (!written.ok()) {
+    close(fd);
+    return written;
+  }
+
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      close(fd);
+      return Status::IOError("client: recv() failed: " + err);
+    }
+    if (n == 0) break;  // Server sends Connection: close.
+    response.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  return response;
+}
+
+}  // namespace serve
+}  // namespace hiergat

@@ -1,0 +1,66 @@
+#ifndef HIERGAT_SERVE_CLIENT_H_
+#define HIERGAT_SERVE_CLIENT_H_
+
+/// Minimal blocking client for the framed serving protocol
+/// (serve/wire.h). One Client wraps one TCP connection; requests on a
+/// single Client are serialized (callers needing concurrency open one
+/// Client per thread — the server batches across connections anyway).
+/// Used by tests, the QPS benchmark, and as the reference
+/// implementation for anyone speaking the wire format.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/entity.h"
+#include "serve/wire.h"
+
+namespace hiergat {
+namespace serve {
+
+class Client {
+ public:
+  /// Connects to a running server.
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                   int port);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Scores `pairs` against `model` ("" = the server's only model).
+  /// `trace_id` (optional) stamps the request so server-side spans are
+  /// attributable to this call. A shed (RESOURCE_EXHAUSTED) surfaces as
+  /// Status::ResourceExhausted — back off and retry.
+  StatusOr<std::vector<float>> Score(const std::string& model,
+                                     const std::vector<EntityPair>& pairs,
+                                     uint64_t trace_id = 0);
+
+  /// Hot-swaps `model` from `checkpoint_path` ("" = re-open current).
+  Status Reload(const std::string& model, const std::string& checkpoint_path);
+
+  /// Round-trips a no-op frame.
+  Status Ping();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Sends `request`, reads one response, maps wire errors to Status.
+  StatusOr<Response> Call(const Request& request);
+
+  int fd_;
+};
+
+/// One-shot HTTP GET against the server's HTTP shim; returns the raw
+/// response (status line + headers + body). Test/tooling helper, not a
+/// general HTTP client.
+StatusOr<std::string> HttpGet(const std::string& host, int port,
+                              const std::string& path);
+
+}  // namespace serve
+}  // namespace hiergat
+
+#endif  // HIERGAT_SERVE_CLIENT_H_

@@ -1,0 +1,374 @@
+#include "serve/wire.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/logging.h"
+
+namespace hiergat {
+namespace serve {
+
+namespace {
+
+/// --- Little-endian append helpers ----------------------------------
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutF32(std::string* out, float v) {
+  uint32_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+/// Strings shorter than 64 KiB (names, attribute keys) carry a u16
+/// length; values and paths carry a u32 length.
+void PutShortString(std::string* out, std::string_view s) {
+  PutU16(out, static_cast<uint16_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+void PutLongString(std::string* out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+/// --- Bounds-checked cursor for decoding ----------------------------
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  bool ReadU16(uint16_t* out) {
+    if (remaining() < 2) return false;
+    *out = static_cast<uint16_t>(Byte(0) | (Byte(1) << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool ReadU32(uint32_t* out) {
+    if (remaining() < 4) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(Byte(i)) << (8 * i);
+    *out = v;
+    pos_ += 4;
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    if (remaining() < 8) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(Byte(i)) << (8 * i);
+    *out = v;
+    pos_ += 8;
+    return true;
+  }
+
+  bool ReadF32(float* out) {
+    uint32_t bits;
+    if (!ReadU32(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  bool ReadBytes(size_t len, std::string* out) {
+    if (remaining() < len) return false;
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  bool ReadShortString(std::string* out) {
+    uint16_t len;
+    return ReadU16(&len) && ReadBytes(len, out);
+  }
+
+  bool ReadLongString(std::string* out) {
+    uint32_t len;
+    return ReadU32(&len) && ReadBytes(len, out);
+  }
+
+ private:
+  uint32_t Byte(int offset) const {
+    return static_cast<uint8_t>(data_[pos_ + static_cast<size_t>(offset)]);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+void PutEntity(std::string* out, const Entity& entity) {
+  PutU16(out, static_cast<uint16_t>(entity.num_attributes()));
+  for (const auto& [key, value] : entity.attributes()) {
+    PutShortString(out, key);
+    PutLongString(out, value);
+  }
+}
+
+bool ReadEntity(Cursor* cursor, Entity* entity) {
+  uint16_t num_attributes;
+  if (!cursor->ReadU16(&num_attributes)) return false;
+  for (uint16_t i = 0; i < num_attributes; ++i) {
+    std::string key, value;
+    if (!cursor->ReadShortString(&key) || !cursor->ReadLongString(&value)) {
+      return false;
+    }
+    entity->Add(std::move(key), std::move(value));
+  }
+  return true;
+}
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("wire: truncated or corrupt ") +
+                                 what);
+}
+
+}  // namespace
+
+const char* WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return "OK";
+    case WireStatus::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireStatus::kNotFound: return "NOT_FOUND";
+    case WireStatus::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case WireStatus::kInternal: return "INTERNAL";
+    case WireStatus::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  PutU16(&out, kWireVersion);
+  PutU16(&out, static_cast<uint16_t>(request.type));
+  PutU64(&out, request.trace_id);
+  switch (request.type) {
+    case MessageType::kScore:
+      PutShortString(&out, request.score.model);
+      PutU32(&out, static_cast<uint32_t>(request.score.pairs.size()));
+      for (const EntityPair& pair : request.score.pairs) {
+        PutEntity(&out, pair.left);
+        PutEntity(&out, pair.right);
+      }
+      break;
+    case MessageType::kReload:
+      PutShortString(&out, request.reload.model);
+      PutLongString(&out, request.reload.checkpoint_path);
+      break;
+    case MessageType::kPing:
+      break;
+  }
+  return out;
+}
+
+std::string EncodeResponse(const Response& response) {
+  std::string out;
+  PutU16(&out, kWireVersion);
+  PutU16(&out, static_cast<uint16_t>(response.status));
+  PutU64(&out, response.trace_id);
+  PutLongString(&out, response.message);
+  PutU32(&out, static_cast<uint32_t>(response.scores.size()));
+  for (float score : response.scores) PutF32(&out, score);
+  return out;
+}
+
+StatusOr<Request> DecodeRequest(std::string_view payload) {
+  Cursor cursor(payload);
+  uint16_t version, type;
+  Request request;
+  if (!cursor.ReadU16(&version) || !cursor.ReadU16(&type) ||
+      !cursor.ReadU64(&request.trace_id)) {
+    return Truncated("request header");
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire: unsupported request version " +
+                                   std::to_string(version));
+  }
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kScore: {
+      request.type = MessageType::kScore;
+      uint32_t num_pairs;
+      if (!cursor.ReadShortString(&request.score.model) ||
+          !cursor.ReadU32(&num_pairs)) {
+        return Truncated("score request");
+      }
+      // A pair needs at least two empty entities (2 bytes each), so a
+      // hostile count can't force a huge reserve on a tiny payload.
+      if (static_cast<size_t>(num_pairs) > cursor.remaining() / 4 + 1) {
+        return Truncated("score request pair count");
+      }
+      request.score.pairs.reserve(num_pairs);
+      for (uint32_t i = 0; i < num_pairs; ++i) {
+        EntityPair pair;
+        if (!ReadEntity(&cursor, &pair.left) ||
+            !ReadEntity(&cursor, &pair.right)) {
+          return Truncated("score request pair");
+        }
+        request.score.pairs.push_back(std::move(pair));
+      }
+      break;
+    }
+    case MessageType::kReload:
+      request.type = MessageType::kReload;
+      if (!cursor.ReadShortString(&request.reload.model) ||
+          !cursor.ReadLongString(&request.reload.checkpoint_path)) {
+        return Truncated("reload request");
+      }
+      break;
+    case MessageType::kPing:
+      request.type = MessageType::kPing;
+      break;
+    default:
+      return Status::InvalidArgument("wire: unknown request type " +
+                                     std::to_string(type));
+  }
+  if (!cursor.exhausted()) return Truncated("request (trailing bytes)");
+  return request;
+}
+
+StatusOr<Response> DecodeResponse(std::string_view payload) {
+  Cursor cursor(payload);
+  uint16_t version, status;
+  Response response;
+  uint32_t num_scores;
+  if (!cursor.ReadU16(&version) || !cursor.ReadU16(&status) ||
+      !cursor.ReadU64(&response.trace_id) ||
+      !cursor.ReadLongString(&response.message) ||
+      !cursor.ReadU32(&num_scores)) {
+    return Truncated("response");
+  }
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire: unsupported response version " +
+                                   std::to_string(version));
+  }
+  if (status > static_cast<uint16_t>(WireStatus::kUnavailable)) {
+    return Status::InvalidArgument("wire: unknown response status " +
+                                   std::to_string(status));
+  }
+  response.status = static_cast<WireStatus>(status);
+  if (cursor.remaining() != static_cast<size_t>(num_scores) * 4) {
+    return Truncated("response scores");
+  }
+  response.scores.resize(num_scores);
+  for (uint32_t i = 0; i < num_scores; ++i) {
+    cursor.ReadF32(&response.scores[i]);
+  }
+  return response;
+}
+
+Status WriteFull(int fd, const void* data, size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("wire: send: ") +
+                             std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadFull(int fd, void* data, size_t len) {
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("wire: read: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      if (got == 0) return Status::NotFound("connection closed");
+      return Status::IOError("wire: EOF mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxPayloadBytes) {
+    return Status::InvalidArgument("wire: payload exceeds kMaxPayloadBytes");
+  }
+  // One contiguous send: header and payload split across two send()
+  // calls interacts with Nagle + delayed ACK (a ~40ms stall per frame
+  // on loopback request/response traffic).
+  std::string frame;
+  frame.reserve(8 + payload.size());
+  PutU32(&frame, kFrameMagic);
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return WriteFull(fd, frame.data(), frame.size());
+}
+
+StatusOr<std::string> ReadFramePayload(int fd) {
+  uint8_t magic[4];
+  HG_RETURN_IF_ERROR(ReadFull(fd, magic, sizeof(magic)));
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value |= static_cast<uint32_t>(magic[i]) << (8 * i);
+  if (value != kFrameMagic) {
+    return Status::InvalidArgument("wire: bad frame magic");
+  }
+  return ReadFramePayloadAfterMagic(fd);
+}
+
+StatusOr<std::string> ReadFramePayloadAfterMagic(int fd) {
+  uint8_t len_bytes[4];
+  const Status status = ReadFull(fd, len_bytes, sizeof(len_bytes));
+  if (!status.ok()) {
+    // EOF between the magic and the length is a torn frame, not a
+    // quiet close.
+    if (status.code() == StatusCode::kNotFound) {
+      return Status::IOError("wire: EOF after frame magic");
+    }
+    return status;
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(len_bytes[i]) << (8 * i);
+  }
+  if (len > kMaxPayloadBytes) {
+    return Status::InvalidArgument("wire: frame length " +
+                                   std::to_string(len) +
+                                   " exceeds kMaxPayloadBytes");
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    const Status body = ReadFull(fd, payload.data(), payload.size());
+    if (!body.ok()) {
+      if (body.code() == StatusCode::kNotFound) {
+        return Status::IOError("wire: EOF inside frame body");
+      }
+      return body;
+    }
+  }
+  return payload;
+}
+
+}  // namespace serve
+}  // namespace hiergat

@@ -1,0 +1,132 @@
+#ifndef HIERGAT_SERVE_WIRE_H_
+#define HIERGAT_SERVE_WIRE_H_
+
+/// The hiergat serving wire format (DESIGN.md §14): a hand-rolled,
+/// length-prefixed binary protocol — no msgpack/protobuf dependency.
+/// Every frame on a framed-TCP connection is
+///
+///   u32 magic "HGSV" | u32 payload_len (LE) | payload
+///
+/// and every payload starts with a versioned header (u16 version, u16
+/// message type, u64 trace id). The trace id crosses the socket
+/// boundary verbatim: a client that stamps its requests can find the
+/// server-side engine/graph spans for each of them in one Perfetto
+/// trace. All integers are little-endian; floats are IEEE-754 bit
+/// patterns in little-endian byte order.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "data/entity.h"
+
+namespace hiergat {
+namespace serve {
+
+/// First four bytes of every framed message ("HGSV" in byte order);
+/// doubles as the protocol sniff that separates framed connections from
+/// the HTTP shim ("GET " etc.).
+inline constexpr uint32_t kFrameMagic = 0x56534748u;  // 'H''G''S''V' LE.
+
+/// Wire format version carried in every payload header. Decoders reject
+/// newer versions instead of misparsing them.
+inline constexpr uint16_t kWireVersion = 1;
+
+/// Hard cap on a single payload; a frame claiming more is rejected
+/// before any allocation (a garbage length prefix must not OOM the
+/// server).
+inline constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+/// Request message types.
+enum class MessageType : uint16_t {
+  kScore = 1,   ///< Score a batch of entity pairs against one model.
+  kReload = 2,  ///< Hot-swap a model from a checkpoint path.
+  kPing = 3,    ///< Liveness no-op.
+};
+
+/// Response status codes. kResourceExhausted is the explicit
+/// load-shedding answer (admission control, DESIGN.md §14) — clients
+/// should back off and retry rather than treat it as a hard failure.
+enum class WireStatus : uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kResourceExhausted = 3,
+  kInternal = 4,
+  kUnavailable = 5,
+};
+
+/// Name for logs and error messages; never returns null.
+const char* WireStatusName(WireStatus status);
+
+/// One decoded request. `score` is meaningful for kScore, `reload` for
+/// kReload; the other stays empty.
+struct Request {
+  MessageType type = MessageType::kPing;
+  /// Request-scoped trace id (obs::TraceContext::trace_id); 0 lets the
+  /// server root a fresh context.
+  uint64_t trace_id = 0;
+
+  struct Score {
+    /// Target model name; empty selects the registry's only model.
+    std::string model;
+    /// Pairs to score. Labels do not travel on the wire (decoded pairs
+    /// carry label 0) — serving is inference-only.
+    std::vector<EntityPair> pairs;
+  } score;
+
+  struct Reload {
+    std::string model;
+    /// Checkpoint to load; empty re-opens the model's current path.
+    std::string checkpoint_path;
+  } reload;
+};
+
+/// One decoded response. `scores` is parallel to the request's pairs
+/// and empty for non-kOk statuses and non-score requests.
+struct Response {
+  WireStatus status = WireStatus::kOk;
+  uint64_t trace_id = 0;
+  /// Human-readable detail for errors ("" on success).
+  std::string message;
+  std::vector<float> scores;
+};
+
+/// --- Payload codec (no frame header) -------------------------------
+
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+/// Decoders validate the version header, every length field against the
+/// remaining payload, and reject trailing garbage; a truncated or
+/// corrupt payload returns InvalidArgument, never UB.
+StatusOr<Request> DecodeRequest(std::string_view payload);
+StatusOr<Response> DecodeResponse(std::string_view payload);
+
+/// --- Frame layer over a connected socket ---------------------------
+
+/// Writes magic + length prefix + payload. Uses send(MSG_NOSIGNAL), so
+/// a peer that vanished yields IOError instead of SIGPIPE.
+Status WriteFrame(int fd, std::string_view payload);
+
+/// Reads one full frame and returns its payload. A clean EOF before the
+/// first byte returns NotFound("connection closed") so servers can end
+/// the read loop quietly; EOF mid-frame is an IOError.
+StatusOr<std::string> ReadFramePayload(int fd);
+
+/// Same, for a server that already consumed and verified the 4 magic
+/// bytes while sniffing the protocol.
+StatusOr<std::string> ReadFramePayloadAfterMagic(int fd);
+
+/// Blocking exact-count socket I/O, shared by the client and server.
+/// ReadFull reports NotFound on EOF at offset 0 and IOError on EOF
+/// mid-buffer.
+Status WriteFull(int fd, const void* data, size_t len);
+Status ReadFull(int fd, void* data, size_t len);
+
+}  // namespace serve
+}  // namespace hiergat
+
+#endif  // HIERGAT_SERVE_WIRE_H_

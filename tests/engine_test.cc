@@ -401,6 +401,57 @@ TEST_F(EngineParityTest, QueueDepthLimitAdmitsAndCompletesAllJobs) {
   }
 }
 
+TEST_F(EngineParityTest, TryScoreRejectsWhenQueueFullAndCountsShed) {
+  // A model whose ScoreBatch blocks until released, so the test can pin
+  // the engine's queue at max_queue_depth deterministically.
+  class BlockingModel : public PairwiseModel {
+   public:
+    std::string name() const override { return "blocking"; }
+    void Train(const PairDataset&, const TrainOptions&) override {}
+    float ScorePair(const EntityPair&) const override { return 0.5f; }
+    std::vector<float> ScoreBatch(
+        std::span<const EntityPair> pairs) const override {
+      started_.store(true);
+      while (!release_.load()) std::this_thread::yield();
+      return std::vector<float>(pairs.size(), 0.5f);
+    }
+    mutable std::atomic<bool> started_{false};
+    mutable std::atomic<bool> release_{false};
+  };
+
+  EngineOptions options;
+  options.num_threads = 2;
+  options.max_queue_depth = 1;
+  InferenceEngine engine(options);
+  const std::span<const EntityPair> pairs(data_->test.data(), 4);
+
+  obs::Counter& rejected = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.engine.admission.rejected");
+  const int64_t rejected_before = rejected.Value();
+
+  BlockingModel blocking;
+  std::thread occupant([&] { engine.Score(blocking, pairs); });
+  while (!blocking.started_.load()) std::this_thread::yield();
+
+  // Queue is at capacity (the blocked job holds the only slot):
+  // TryScore must shed immediately instead of blocking behind it.
+  const StatusOr<std::vector<float>> shed = engine.TryScore(*magellan_, pairs);
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted)
+      << shed.status().ToString();
+  EXPECT_EQ(rejected.Value(), rejected_before + 1);
+
+  blocking.release_.store(true);
+  occupant.join();
+
+  // Idle queue: TryScore admits and matches the blocking Score path.
+  const StatusOr<std::vector<float>> scored =
+      engine.TryScore(*magellan_, pairs);
+  ASSERT_TRUE(scored.ok()) << scored.status().ToString();
+  ExpectBitIdentical(engine.Score(*magellan_, pairs), scored.value());
+  EXPECT_EQ(rejected.Value(), rejected_before + 1);
+}
+
 TEST_F(EngineParityTest, PairwiseAsCollectiveRoutesThroughBatchPath) {
   // Build a toy query from test pairs that share a left entity.
   CollectiveQuery query;

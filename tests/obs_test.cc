@@ -7,7 +7,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <mutex>
+#include <sstream>
 #include <set>
 #include <span>
 #include <string>
@@ -581,6 +583,32 @@ TEST(FlightRecorderDeathTest, CheckFailureDumpsRecentEvents) {
         HG_CHECK(false) << "obs-test deliberate failure";
       },
       "flight recorder.*last events.*job_start.*obs-test-death");
+}
+
+TEST(FlightRecorderTest, DrainAndDumpWritesTraceRingsToDrainPath) {
+  // The clean-shutdown half of DrainAndDump (SIGTERM path of
+  // tools/hiergat_serve): trace rings flush to the configured drain
+  // path as Chrome JSON. The fatal half stays covered by the death test
+  // below — it must not touch the (non-async-signal-safe) trace writer.
+  const std::string path =
+      ::testing::TempDir() + "/obs_drain_and_dump_trace.json";
+  SetTraceDrainPath(path);
+  TraceRecorder::Global().Clear();
+  TraceRecorder::Global().Start();
+  { HG_TRACE_SPAN("drain-test-span"); }
+  TraceRecorder::Global().Stop();
+
+  DrainAndDump(/*fatal=*/false);
+  SetTraceDrainPath("");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "drain path not written: " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("traceEvents"), std::string::npos);
+  EXPECT_NE(json.find("drain-test-span"), std::string::npos);
+  TraceRecorder::Global().Clear();
 }
 
 TEST(TraceMacroTest, CompilesInUnbracedIf) {

@@ -90,6 +90,45 @@ def check_file(path):
         if not is_finite_number(value):
             return fail(path, f'metric "{key}" must be a finite number')
 
+    # Serving benches (bench_serve_qps) carry per-config QPS + latency
+    # quantile rows: for every "qps.<cfg>" metric the matching
+    # p50/p95/p99_seconds.<cfg> metrics must exist, be ordered, and the
+    # shed count must be a non-negative integer-valued number. At least
+    # one config is required — a serve bench with no rows measured
+    # nothing.
+    if doc["benchmark"] == "serve_qps":
+        metrics = doc["metrics"]
+        configs = sorted(
+            key[len("qps."):] for key in metrics if key.startswith("qps.")
+        )
+        if not configs:
+            return fail(path, 'serve_qps must emit at least one "qps.<cfg>" metric')
+        for cfg in configs:
+            quantiles = []
+            for q in ("p50", "p95", "p99"):
+                key = f"{q}_seconds.{cfg}"
+                if key not in metrics:
+                    return fail(path, f'serve_qps config "{cfg}" missing "{key}"')
+                if metrics[key] < 0:
+                    return fail(path, f'"{key}" must be >= 0')
+                quantiles.append(metrics[key])
+            if not quantiles[0] <= quantiles[1] <= quantiles[2]:
+                return fail(
+                    path,
+                    f'serve_qps config "{cfg}": quantiles must be ordered '
+                    f"p50 <= p95 <= p99, got {quantiles}",
+                )
+            if metrics[f"qps.{cfg}"] < 0:
+                return fail(path, f'"qps.{cfg}" must be >= 0')
+            shed = metrics.get(f"shed.{cfg}")
+            if shed is None or shed < 0 or shed != int(shed):
+                return fail(
+                    path, f'serve_qps config "{cfg}": "shed.{cfg}" must be a '
+                    "non-negative integer count"
+                )
+        if "batching_speedup" not in metrics:
+            return fail(path, 'serve_qps must emit "batching_speedup"')
+
     # Optional per-op cost accounting (DESIGN.md §12): emitted by benches
     # that replay compiled graphs; absent from older files and benches
     # that never compile graphs.

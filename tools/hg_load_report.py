@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Renders a QPS-vs-latency table from a bench_serve_qps JSON result.
+
+Usage: hg_load_report.py BENCH.json [--baseline OTHER.json]
+
+BENCH.json is the hiergat-bench-v1 file written by
+`bench_serve_qps --json_out=PATH` (BENCH_serve_qps.json at the repo
+root is the committed baseline). Per-config rows show throughput, the
+p50/p95/p99 latency quantiles, and sheds; the footer restates the
+batching speedup. With --baseline a second file's rows are joined in
+for side-by-side comparison (e.g. this machine vs the committed
+baseline). Stdlib-only on purpose.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_configs(path):
+    """Returns (doc, {cfg: {qps, p50, p95, p99, shed}}) or raises."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError("no metrics object (not a hiergat-bench-v1 file?)")
+    if doc.get("benchmark") != "serve_qps":
+        raise ValueError(
+            f'benchmark is {doc.get("benchmark")!r}, expected "serve_qps"'
+        )
+    configs = {}
+    for key, value in metrics.items():
+        if key.startswith("qps."):
+            cfg = key[len("qps."):]
+            configs[cfg] = {
+                "qps": value,
+                "p50": metrics.get(f"p50_seconds.{cfg}", 0.0),
+                "p95": metrics.get(f"p95_seconds.{cfg}", 0.0),
+                "p99": metrics.get(f"p99_seconds.{cfg}", 0.0),
+                "shed": int(metrics.get(f"shed.{cfg}", 0)),
+            }
+    if not configs:
+        raise ValueError("no qps.<cfg> metrics found")
+    return doc, configs
+
+
+def config_sort_key(cfg):
+    """'b1' < 'b8d500' < 'b32d1000': order by batch size, then delay."""
+    try:
+        batch, _, delay = cfg.removeprefix("b").partition("d")
+        return (int(batch), int(delay) if delay else 0)
+    except ValueError:
+        return (1 << 30, 0)  # Unknown naming: sort last, keep stable.
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("bench")
+    parser.add_argument(
+        "--baseline", metavar="OTHER.json", default=None,
+        help="second serve_qps file to compare against (its QPS and p95 "
+        "are joined into the table)",
+    )
+    args = parser.parse_args(argv[1:])
+
+    try:
+        doc, configs = load_configs(args.bench)
+    except (OSError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {args.bench}: {exc}", file=sys.stderr)
+        return 2
+    baseline = None
+    if args.baseline is not None:
+        try:
+            _, baseline = load_configs(args.baseline)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            print(f"error: {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+
+    params = doc.get("params", {})
+    print(
+        f"{args.bench}: serve_qps on backend "
+        f"{params.get('backend', '?')}, "
+        f"{params.get('engine_threads', '?')} engine thread(s), "
+        f"{params.get('client_threads', '?')} client thread(s)"
+    )
+
+    header = (
+        f"{'config':<12} {'QPS':>9} {'p50 ms':>9} {'p95 ms':>9} "
+        f"{'p99 ms':>9} {'shed':>6}"
+    )
+    if baseline is not None:
+        header += f" {'base QPS':>9} {'base p95':>9} {'QPS x':>6}"
+    print()
+    print(header)
+    print("-" * len(header))
+    for cfg in sorted(configs, key=config_sort_key):
+        row = configs[cfg]
+        line = (
+            f"{cfg:<12} {row['qps']:>9.1f} {row['p50'] * 1e3:>9.2f} "
+            f"{row['p95'] * 1e3:>9.2f} {row['p99'] * 1e3:>9.2f} "
+            f"{row['shed']:>6}"
+        )
+        if baseline is not None:
+            base = baseline.get(cfg)
+            if base is not None:
+                ratio = row["qps"] / base["qps"] if base["qps"] > 0 else 0.0
+                line += (
+                    f" {base['qps']:>9.1f} {base['p95'] * 1e3:>9.2f} "
+                    f"{ratio:>6.2f}"
+                )
+            else:
+                line += f" {'-':>9} {'-':>9} {'-':>6}"
+        print(line)
+
+    speedup = doc.get("metrics", {}).get("batching_speedup")
+    if speedup is not None:
+        print(
+            f"\nbatching speedup: {speedup:.2f}x best-config QPS over "
+            "batch-size-1 (scales with free cores; see bench_serve_qps.cc)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,224 @@
+// Long-lived ER matching server (DESIGN.md §14): loads checkpoints
+// into a hot-swappable model registry and serves the framed scoring
+// protocol plus the /healthz //readyz //metrics HTTP shim on one port.
+//
+//   hiergat_serve --port=7071 --model=prod=model.ckpt --threads=4
+//
+// Models can be named explicitly (--model=name=path, repeatable) or
+// discovered from a directory of *.ckpt files (--model_dir=DIR, model
+// name = file stem). Clients hot-swap any of them at runtime via the
+// reload RPC. SIGTERM/SIGINT triggers a graceful drain: stop
+// accepting, answer everything admitted, then flush the trace rings
+// (--trace_out) and the flight recorder via obs::DrainAndDump — the
+// same dump path a crash would take.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "er/session.h"
+#include "obs/flight_recorder.h"
+#include "obs/log.h"
+#include "obs/trace.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace hiergat {
+namespace {
+
+// Self-pipe wakeup: the handler only writes one byte (async-signal
+// safe); the main thread blocks in read() and runs the actual drain.
+int g_shutdown_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int) {
+  const char byte = 1;
+  (void)!write(g_shutdown_pipe[1], &byte, 1);
+}
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  int port = 7071;
+  int threads = 0;  // 0 = hardware concurrency.
+  int max_batch_size = 32;
+  int max_delay_us = 1000;
+  int max_pending_pairs = 8192;
+  int max_per_connection = 64;
+  bool quantize = false;
+  std::vector<std::pair<std::string, std::string>> models;  // name -> path.
+  std::string model_dir;
+  std::string trace_out;
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--model=NAME=CKPT]... [--model_dir=DIR] [options]\n"
+      "\n"
+      "  --model=NAME=CKPT      publish checkpoint CKPT as model NAME\n"
+      "                         (repeatable)\n"
+      "  --model_dir=DIR        publish every *.ckpt in DIR (name = stem)\n"
+      "  --host=ADDR            bind address         (default 127.0.0.1)\n"
+      "  --port=N               TCP port, 0=ephemeral (default 7071)\n"
+      "  --threads=N            engine workers/model, 0=auto (default 0)\n"
+      "  --max_batch_size=N     pairs per coalesced batch (default 32)\n"
+      "  --max_delay_us=N       batch hold time in usec  (default 1000)\n"
+      "  --max_pending_pairs=N  admission cap, 0=off     (default 8192)\n"
+      "  --max_per_connection=N per-conn in-flight cap   (default 64)\n"
+      "  --quantize             serve Q8_0-quantized weights\n"
+      "  --trace_out=PATH       write a Chrome trace on shutdown\n");
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (arg.compare(0, len, name) == 0 && arg.size() > len &&
+          arg[len] == '=') {
+        return arg.c_str() + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value_of("--model")) {
+      const char* eq = std::strchr(v, '=');
+      if (eq == nullptr || eq == v || eq[1] == '\0') {
+        std::fprintf(stderr, "--model wants NAME=CKPT, got \"%s\"\n", v);
+        return false;
+      }
+      flags->models.emplace_back(std::string(v, eq), std::string(eq + 1));
+    } else if (const char* v = value_of("--model_dir")) {
+      flags->model_dir = v;
+    } else if (const char* v = value_of("--host")) {
+      flags->host = v;
+    } else if (const char* v = value_of("--port")) {
+      flags->port = std::atoi(v);
+    } else if (const char* v = value_of("--threads")) {
+      flags->threads = std::atoi(v);
+    } else if (const char* v = value_of("--max_batch_size")) {
+      flags->max_batch_size = std::atoi(v);
+    } else if (const char* v = value_of("--max_delay_us")) {
+      flags->max_delay_us = std::atoi(v);
+    } else if (const char* v = value_of("--max_pending_pairs")) {
+      flags->max_pending_pairs = std::atoi(v);
+    } else if (const char* v = value_of("--max_per_connection")) {
+      flags->max_per_connection = std::atoi(v);
+    } else if (const char* v = value_of("--trace_out")) {
+      flags->trace_out = v;
+    } else if (arg == "--quantize") {
+      flags->quantize = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag \"%s\"\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  if (!flags.model_dir.empty()) {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(flags.model_dir, ec)) {
+      if (entry.path().extension() == ".ckpt") {
+        flags.models.emplace_back(entry.path().stem().string(),
+                                  entry.path().string());
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot read --model_dir=%s: %s\n",
+                   flags.model_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+  if (flags.models.empty()) {
+    std::fprintf(stderr, "no models: pass --model=NAME=CKPT or --model_dir\n");
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  serve::ModelRegistry registry;
+  for (const auto& [name, path] : flags.models) {
+    SessionOptions session_options;
+    session_options.checkpoint_path = path;
+    session_options.engine.num_threads = flags.threads;
+    session_options.quantize_weights = flags.quantize;
+    const Status status = registry.LoadModel(name, session_options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "loading model \"%s\" from %s failed: %s\n",
+                   name.c_str(), path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    std::printf("published model \"%s\" from %s\n", name.c_str(),
+                path.c_str());
+  }
+
+  serve::ServerOptions server_options;
+  server_options.host = flags.host;
+  server_options.port = flags.port;
+  server_options.batcher.max_batch_size = flags.max_batch_size;
+  server_options.batcher.max_delay_us = flags.max_delay_us;
+  server_options.admission.max_pending_pairs = flags.max_pending_pairs;
+  server_options.admission.max_per_connection = flags.max_per_connection;
+
+  auto server_or = serve::Server::Start(&registry, server_options);
+  if (!server_or.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<serve::Server> server = std::move(server_or).value();
+
+  if (!flags.trace_out.empty()) {
+    obs::SetTraceDrainPath(flags.trace_out);
+    obs::TraceRecorder::Global().Start();
+  }
+  // First Global() touch installs the crash handlers, so a SIGSEGV
+  // after this point dumps the flight ring.
+  obs::FlightRecorder::Global();
+
+  if (pipe(g_shutdown_pipe) != 0) {
+    std::fprintf(stderr, "pipe() failed: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction action{};
+  action.sa_handler = HandleShutdownSignal;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+
+  std::printf("serving on %s:%d (batch<=%d, hold<=%dus); SIGTERM drains\n",
+              flags.host.c_str(), server->port(), flags.max_batch_size,
+              flags.max_delay_us);
+  std::fflush(stdout);
+
+  char byte;
+  while (read(g_shutdown_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+
+  std::printf("shutdown signal received; draining...\n");
+  server->Shutdown();
+  const serve::Server::Stats stats = server->stats();
+  std::printf("served %lld request(s) on %lld connection(s)\n",
+              static_cast<long long>(stats.requests),
+              static_cast<long long>(stats.connections));
+  obs::TraceRecorder::Global().Stop();
+  obs::DrainAndDump();
+  return 0;
+}
+
+}  // namespace
+}  // namespace hiergat
+
+int main(int argc, char** argv) { return hiergat::Main(argc, argv); }
