@@ -1,0 +1,189 @@
+// Million-record blocking: builds the sharded HNSW embedding index over
+// a synthetic two-table source pair (every query has exactly one gold
+// match in the corpus), then blocks a query sample through the
+// progressive band iterator and measures recall against the
+// generator's ground truth (ROADMAP item 4's acceptance: a 10^6-record
+// source pair, recall >= 0.95 against gold).
+//
+// Two rows by default — 10^5 and 10^6 total records, corpus = 4/5 of
+// the row size, queries = the remaining 1/5 capped at 20k (the SIFT1M
+// protocol: a fixed query sample over the full corpus; 20k gold
+// queries put the recall estimate's 95% CI under +-0.3%).
+// HIERGAT_BENCH_BLOCKING_RECORDS=N runs a single row at N records
+// instead (the benchjson/benchgate ctest fixtures use this; the
+// committed BENCH_blocking.json carries both full-size rows). Per-row
+// metrics: build_seconds, query_seconds, qps, recall (gated via
+// tools/bench_compare.py), candidate count, and the progressive band
+// floors/sizes (check_bench_json.py asserts the floors descend).
+//
+// The workload fixes per-token noise at 0.05 rather than the generator
+// default 0.08: at 0.08 the EXACT-search gold recall ceiling is ~0.96
+// at 10^5 records (every corpus record has same-family hard
+// distractors), so a 0.95 gate would measure the hashed embedder, not
+// the index. DESIGN.md §16 has the measured ceilings.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "blocking/blocker.h"
+#include "blocking/embed_blocker.h"
+#include "data/synthetic.h"
+
+namespace hiergat {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// "100000" -> "100k", "1000000" -> "1m"; raw digits otherwise.
+std::string SizeLabel(int records) {
+  if (records >= 1000000 && records % 1000000 == 0) {
+    return std::to_string(records / 1000000) + "m";
+  }
+  if (records >= 1000 && records % 1000 == 0) {
+    return std::to_string(records / 1000) + "k";
+  }
+  return std::to_string(records);
+}
+
+struct RowResult {
+  int records = 0;
+  double build_seconds = 0.0;
+  double query_seconds = 0.0;
+  double qps = 0.0;
+  float recall = 0.0f;
+  int candidates = 0;
+  std::vector<float> band_floors;
+  std::vector<int> band_pairs;
+};
+
+RowResult RunOne(int records, const EmbedBlockOptions& options) {
+  using Clock = std::chrono::steady_clock;
+  RowResult row;
+  row.records = records;
+  const int queries = std::min(records / 5, 20000);
+  const int corpus = records - records / 5;
+
+  SyntheticSpec spec;
+  spec.name = "blocking-bench";
+  spec.noise = 0.05f;
+  spec.seed = 4242;
+  TwoTableDataset raw = GenerateTwoTable(spec, queries, corpus);
+
+  EmbedBlocker blocker(options);
+  const auto build_start = Clock::now();
+  blocker.AddAll(raw.table_b);
+  row.build_seconds = SecondsSince(build_start);
+
+  ProgressiveCandidates stream(blocker, raw.table_a, options);
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(queries) * options.top_n);
+  const auto query_start = Clock::now();
+  while (!stream.Done()) {
+    const std::vector<CandidatePair> batch = stream.NextBatch();
+    row.band_pairs.push_back(static_cast<int>(batch.size()));
+    for (const CandidatePair& pair : batch) {
+      pairs.emplace_back(pair.query, static_cast<int>(pair.candidate));
+    }
+  }
+  row.query_seconds = SecondsSince(query_start);
+  row.qps = row.query_seconds > 0
+                ? static_cast<double>(queries) / row.query_seconds
+                : 0.0;
+  row.band_floors = stream.band_floors();
+  row.candidates = static_cast<int>(pairs.size());
+  row.recall = BlockingRecall(pairs, raw.matches);
+  return row;
+}
+
+}  // namespace
+}  // namespace hiergat
+
+int main(int argc, char** argv) {
+  using namespace hiergat;
+  using bench::Fmt;
+
+  bench::PrintHeader(
+      "Blocking at scale (ROADMAP item 4)",
+      "10^6-record source pair blocked in seconds at recall >= 0.95");
+
+  // The committed configuration: dim 128 is where the hashed-n-gram
+  // exact-search ceiling clears the gate with margin (0.98 at 10^6),
+  // M=24 / ef_construction=128 buys the graph quality that survives
+  // 10^6 records (the library's small-corpus defaults lose ~6 recall
+  // points there — measured ladder in DESIGN.md §16), and 2 shards
+  // halve per-query fan-out cost versus the library default of 4 (each
+  // additional shard is one more beam; 8 shards of 10^5 nodes measured
+  // WORSE than 2 of 4x10^5 at equal total beam budget, so small-graph
+  // sharding does not substitute for construction quality).
+  EmbedBlockOptions options;
+  options.top_n = bench::IntEnv("HIERGAT_BENCH_BLOCKING_TOPN", 16);
+  options.bands = 4;
+  options.index.dim = bench::IntEnv("HIERGAT_BENCH_BLOCKING_DIM", 128);
+  options.index.num_shards = bench::IntEnv("HIERGAT_BENCH_BLOCKING_SHARDS", 2);
+  options.index.max_neighbors = bench::IntEnv("HIERGAT_BENCH_BLOCKING_M", 24);
+  options.index.ef_construction =
+      bench::IntEnv("HIERGAT_BENCH_BLOCKING_EFC", 128);
+  options.index.ef_search = bench::IntEnv("HIERGAT_BENCH_BLOCKING_EFS", 256);
+
+  std::vector<int> sizes;
+  const int env_records = bench::IntEnv("HIERGAT_BENCH_BLOCKING_RECORDS", 0);
+  if (env_records > 0) {
+    sizes.push_back(env_records);
+  } else {
+    sizes = {100000, 1000000};
+  }
+
+  bench::BenchResult result("blocking");
+  result.AddParam("top_n", options.top_n);
+  result.AddParam("bands", options.bands);
+  result.AddParam("dim", options.index.dim);
+  result.AddParam("num_shards", options.index.num_shards);
+  result.AddParam("max_neighbors", options.index.max_neighbors);
+  result.AddParam("ef_construction", options.index.ef_construction);
+  result.AddParam("ef_search", options.index.ef_search);
+
+  bench::Table table("Embedding-index blocking (queries:corpus = 1:4)",
+                     {"records", "build s", "query s", "qps", "recall",
+                      "candidates"});
+  std::vector<double> wall_times;
+  double last_qps = 0.0;
+  for (const int records : sizes) {
+    const RowResult row = RunOne(records, options);
+    const std::string label = SizeLabel(records);
+    table.AddRow({label, Fmt(row.build_seconds, 2), Fmt(row.query_seconds, 2),
+                  Fmt(row.qps, 0), Fmt(row.recall, 4),
+                  std::to_string(row.candidates)});
+    result.AddMetric("recall." + label, row.recall);
+    result.AddMetric("candidates." + label, row.candidates);
+    result.AddMetric("build_seconds." + label, row.build_seconds);
+    result.AddMetric("query_seconds." + label, row.query_seconds);
+    result.AddMetric("qps." + label, row.qps);
+    for (size_t k = 0; k < row.band_floors.size(); ++k) {
+      result.AddMetric("band_floor." + label + "." + std::to_string(k),
+                       row.band_floors[k]);
+      result.AddMetric("band_pairs." + label + "." + std::to_string(k),
+                       row.band_pairs[k]);
+    }
+    wall_times.push_back(row.build_seconds + row.query_seconds);
+    last_qps = row.qps;
+  }
+  table.Print();
+  std::printf(
+      "\nRecall is against the generator's gold matches; candidates are\n"
+      "emitted through the progressive band iterator (floors descend).\n");
+
+  result.SetLatencies(wall_times);
+  result.set_throughput(last_qps);
+  const std::string json_out = bench::JsonOutPath(argc, argv);
+  if (!bench::WriteBenchJson(json_out, result)) return 1;
+  return 0;
+}

@@ -1,0 +1,1198 @@
+#include "blocking/ann_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <queue>
+#include <shared_mutex>
+#include <unordered_map>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "core/serialize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hiergat {
+
+namespace {
+
+constexpr int kMaxLevel = 30;
+constexpr int kMaxDim = 4096;
+constexpr int kMaxShards = 4096;
+/// Slots (and ids after the hi/lo split) must stay exactly
+/// representable in the f32 checkpoint tensors.
+constexpr int64_t kMaxExactF32 = int64_t{1} << 24;
+constexpr int64_t kMaxId = int64_t{1} << 47;
+
+obs::Counter& InsertCounter() {
+  static obs::Counter& counter =
+      obs::MetricsRegistry::Global().GetCounter("hiergat.blocking.ann.inserts");
+  return counter;
+}
+obs::Counter& SearchCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.blocking.ann.searches");
+  return counter;
+}
+obs::Counter& DistEvalCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.blocking.ann.dist_evals");
+  return counter;
+}
+obs::Gauge& SizeGauge() {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::Global().GetGauge("hiergat.blocking.ann.size");
+  return gauge;
+}
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Four-accumulator dot product: deterministic (fixed association) and
+/// wide enough for the compiler to vectorize. Vectors are normalized on
+/// insert, so this is the cosine.
+float DotScalar(const float* a, const float* b, int dim) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int i = 0;
+  for (; i + 4 <= dim; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < dim; ++i) s0 += a[i] * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define HIERGAT_ANN_DOT_DISPATCH 1
+/// AVX2+FMA dot, selected at load time like the tensor backend registry
+/// (backend.cc). Association differs from the scalar path, so results
+/// are deterministic per host, not across hosts — the property tests
+/// only ever compare runs from the same process, and no golden index
+/// image is committed.
+__attribute__((target("avx2,fma"))) float DotAvx2(const float* a,
+                                                  const float* b, int dim) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  int i = 0;
+  for (; i + 16 <= dim; i += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+  }
+  for (; i + 8 <= dim; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+  }
+  acc0 = _mm256_add_ps(acc0, acc1);
+  __m128 quad = _mm_add_ps(_mm256_castps256_ps128(acc0),
+                           _mm256_extractf128_ps(acc0, 1));
+  quad = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+  quad = _mm_add_ss(quad, _mm_shuffle_ps(quad, quad, 1));
+  float out = _mm_cvtss_f32(quad);
+  for (; i < dim; ++i) out += a[i] * b[i];
+  return out;
+}
+#endif
+
+using DotFn = float (*)(const float*, const float*, int);
+DotFn PickDot() {
+#if defined(HIERGAT_ANN_DOT_DISPATCH)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return DotAvx2;
+  }
+#endif
+  return DotScalar;
+}
+const DotFn kDot = PickDot();
+
+inline float Dot(const float* a, const float* b, int dim) {
+  return kDot(a, b, dim);
+}
+
+/// int8 dot for the graph-walk hot path. Navigation vectors are
+/// symmetric-quantized to int8 (q = round(127 * v) on the normalized
+/// vector), shrinking a dim-128 vector from eight cache lines to two —
+/// the walk is DRAM-latency bound, so that is a direct speedup. Integer
+/// sums are exact, so the scalar and AVX2 paths agree bit-for-bit (the
+/// accumulator never leaves int32: |sum| <= 127*127*4096 < 2^31).
+int32_t DotQScalar(const int8_t* a, const int8_t* b, int dim) {
+  int32_t s = 0;
+  for (int i = 0; i < dim; ++i) {
+    s += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return s;
+}
+
+#if defined(HIERGAT_ANN_DOT_DISPATCH)
+__attribute__((target("avx2"))) int32_t DotQAvx2(const int8_t* a,
+                                                 const int8_t* b, int dim) {
+  __m256i acc = _mm256_setzero_si256();
+  int i = 0;
+  for (; i + 32 <= dim; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i alo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+    const __m256i ahi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+    const __m256i blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+    const __m256i bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(alo, blo));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(ahi, bhi));
+  }
+  __m128i quad = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                               _mm256_extracti128_si256(acc, 1));
+  quad = _mm_add_epi32(quad, _mm_srli_si128(quad, 8));
+  quad = _mm_add_epi32(quad, _mm_srli_si128(quad, 4));
+  int32_t out = _mm_cvtsi128_si32(quad);
+  for (; i < dim; ++i) {
+    out += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return out;
+}
+#endif
+
+using DotQFn = int32_t (*)(const int8_t*, const int8_t*, int);
+DotQFn PickDotQ() {
+#if defined(HIERGAT_ANN_DOT_DISPATCH)
+  if (__builtin_cpu_supports("avx2")) return DotQAvx2;
+#endif
+  return DotQScalar;
+}
+const DotQFn kDotQ = PickDotQ();
+
+inline int32_t DotQ(const int8_t* a, const int8_t* b, int dim) {
+  return kDotQ(a, b, dim);
+}
+
+/// q = round(127 * v); |v_i| <= 1 after L2 normalization, so the result
+/// fits int8 exactly. Deterministic (lround ties away from zero).
+void Quantize(const float* v, int dim, int8_t* out) {
+  for (int i = 0; i < dim; ++i) {
+    out[i] = static_cast<int8_t>(std::lround(v[i] * 127.0f));
+  }
+}
+
+void Prefetch(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, 0, 1);
+#else
+  (void)p;
+#endif
+}
+
+/// (similarity, slot) with the deterministic ordering used everywhere:
+/// higher similarity is better, ties break toward the smaller slot.
+struct Scored {
+  float sim;
+  int32_t slot;
+};
+bool Better(const Scored& a, const Scored& b) {
+  return a.sim > b.sim || (a.sim == b.sim && a.slot < b.slot);
+}
+/// Max-heap on "better" (top = best).
+struct WorseCmp {
+  bool operator()(const Scored& a, const Scored& b) const {
+    return Better(b, a);
+  }
+};
+/// Min-heap on "better" (top = worst) for bounded result sets.
+struct BetterCmp {
+  bool operator()(const Scored& a, const Scored& b) const {
+    return Better(a, b);
+  }
+};
+
+/// Per-thread visited marks, epoch-reset so repeated searches don't pay
+/// a clear. Thread-local, so concurrent readers never share state.
+struct VisitBuffer {
+  std::vector<uint32_t> marks;
+  uint32_t epoch = 0;
+
+  void Begin(size_t n) {
+    if (marks.size() < n) marks.resize(n, 0);
+    if (++epoch == 0) {
+      std::fill(marks.begin(), marks.end(), 0u);
+      epoch = 1;
+    }
+  }
+  bool Visit(int32_t slot) {
+    if (marks[static_cast<size_t>(slot)] == epoch) return false;
+    marks[static_cast<size_t>(slot)] = epoch;
+    return true;
+  }
+};
+VisitBuffer& LocalVisits() {
+  thread_local VisitBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+/// One independent HNSW graph. Layer-0 links live in a flat fixed-stride
+/// array (the hot path at a million records); the sparse upper layers of
+/// high-level nodes live in a side map. All reads take `mutex` shared,
+/// Insert takes it exclusive, so queries may overlap an insert stream.
+struct AnnIndex::Shard {
+  explicit Shard(const AnnIndexOptions& options, int index)
+      : opts(options),
+        l0_cap(2 * options.max_neighbors),
+        ml(1.0 / std::log(static_cast<double>(
+                     std::max(2, options.max_neighbors)))),
+        rng(options.seed ^ SplitMix64(static_cast<uint64_t>(index))) {}
+
+  /// By value, not reference: shards outlive moves of the owning
+  /// AnnIndex (Parse returns through StatusOr), so they must not point
+  /// back into it.
+  const AnnIndexOptions opts;
+  const int l0_cap;
+  const double ml;
+  Rng rng;
+
+  std::vector<float> vectors;        ///< slot-major, L2-normalized.
+  /// int8 navigation copy of `vectors` (see DotQ): the beam walks this,
+  /// the float vectors only back the final rerank and serialization.
+  std::vector<int8_t> qvectors;
+  std::vector<int64_t> ids;          ///< slot -> external id.
+  std::vector<int32_t> levels;       ///< slot -> top layer of the slot.
+  std::vector<int32_t> links0;       ///< slot * l0_cap, -1 padded.
+  std::vector<int32_t> links0_size;  ///< live prefix of each links0 row.
+  /// slot -> link lists for layers 1..level (only slots with level >= 1).
+  std::unordered_map<int32_t, std::vector<std::vector<int32_t>>> upper;
+  int32_t entry = -1;
+  int32_t max_level = -1;
+  mutable std::shared_mutex mutex;
+
+  int32_t count() const { return static_cast<int32_t>(ids.size()); }
+
+  const float* Vec(int32_t slot) const {
+    return vectors.data() + static_cast<size_t>(slot) * opts.dim;
+  }
+
+  const int8_t* QVec(int32_t slot) const {
+    return qvectors.data() + static_cast<size_t>(slot) * opts.dim;
+  }
+
+  /// Rebuilds the int8 navigation copy from `vectors` (Parse path). The
+  /// slot count comes from `vectors` itself, NOT count(): Parse calls
+  /// this before `ids` is populated, when count() is still zero.
+  void RequantizeAll() {
+    qvectors.resize(vectors.size());
+    const int32_t n =
+        static_cast<int32_t>(vectors.size() / static_cast<size_t>(opts.dim));
+    for (int32_t slot = 0; slot < n; ++slot) {
+      Quantize(Vec(slot), opts.dim,
+               qvectors.data() + static_cast<size_t>(slot) * opts.dim);
+    }
+  }
+
+  int LayerCap(int layer) const {
+    return layer == 0 ? l0_cap : opts.max_neighbors;
+  }
+
+  /// Link list of `slot` at `layer` as (pointer, size). Layer-0 reads
+  /// the flat array, upper layers the side map.
+  std::pair<const int32_t*, int> Links(int32_t slot, int layer) const {
+    if (layer == 0) {
+      return {links0.data() + static_cast<size_t>(slot) * l0_cap,
+              links0_size[static_cast<size_t>(slot)]};
+    }
+    const auto it = upper.find(slot);
+    if (it == upper.end() ||
+        static_cast<size_t>(layer) > it->second.size()) {
+      return {nullptr, 0};
+    }
+    const std::vector<int32_t>& list = it->second[static_cast<size_t>(layer - 1)];
+    return {list.data(), static_cast<int>(list.size())};
+  }
+
+  void AppendLink(int32_t slot, int32_t neighbor, int layer) {
+    if (layer == 0) {
+      int32_t& size = links0_size[static_cast<size_t>(slot)];
+      HG_CHECK_LT(size, l0_cap);
+      links0[static_cast<size_t>(slot) * l0_cap + size] = neighbor;
+      ++size;
+      return;
+    }
+    upper[slot][static_cast<size_t>(layer - 1)].push_back(neighbor);
+  }
+
+  void RemoveLink(int32_t slot, int32_t neighbor, int layer) {
+    if (layer == 0) {
+      int32_t* row = links0.data() + static_cast<size_t>(slot) * l0_cap;
+      int32_t& size = links0_size[static_cast<size_t>(slot)];
+      for (int i = 0; i < size; ++i) {
+        if (row[i] == neighbor) {
+          row[i] = row[size - 1];
+          row[size - 1] = -1;
+          --size;
+          return;
+        }
+      }
+      return;
+    }
+    auto it = upper.find(slot);
+    if (it == upper.end()) return;
+    std::vector<int32_t>& list = it->second[static_cast<size_t>(layer - 1)];
+    const auto pos = std::find(list.begin(), list.end(), neighbor);
+    if (pos != list.end()) list.erase(pos);
+  }
+
+  void ReplaceLinks(int32_t slot, int layer,
+                    const std::vector<Scored>& kept) {
+    if (layer == 0) {
+      int32_t* row = links0.data() + static_cast<size_t>(slot) * l0_cap;
+      std::fill(row, row + l0_cap, -1);
+      for (size_t i = 0; i < kept.size(); ++i) row[i] = kept[i].slot;
+      links0_size[static_cast<size_t>(slot)] =
+          static_cast<int32_t>(kept.size());
+      return;
+    }
+    std::vector<int32_t>& list = upper[slot][static_cast<size_t>(layer - 1)];
+    list.clear();
+    for (const Scored& k : kept) list.push_back(k.slot);
+  }
+
+  int Degree(int32_t slot, int layer) const { return Links(slot, layer).second; }
+
+  /// One level draw per insert (exactly one rng call, so a reloaded
+  /// shard can replay the draw stream to stay insert-deterministic).
+  int DrawLevel() {
+    const float u = rng.NextFloat();
+    const int level =
+        static_cast<int>(-std::log(1.0 - static_cast<double>(u)) * ml);
+    return std::min(level, kMaxLevel);
+  }
+
+  /// Greedy hill-climb toward `query` at `layer` (ef = 1 descent).
+  int32_t GreedyStep(const int8_t* query, int32_t start, int layer,
+                     int64_t* dist_evals) const {
+    int32_t cur = start;
+    float cur_sim = static_cast<float>(DotQ(query, QVec(cur), opts.dim));
+    ++*dist_evals;
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      const auto [list, size] = Links(cur, layer);
+      for (int i = 0; i < size; ++i) Prefetch(QVec(list[i]));
+      for (int i = 0; i < size; ++i) {
+        const int32_t nb = list[i];
+        const float sim = static_cast<float>(DotQ(query, QVec(nb), opts.dim));
+        ++*dist_evals;
+        if (sim > cur_sim || (sim == cur_sim && nb < cur)) {
+          cur = nb;
+          cur_sim = sim;
+          improved = true;
+        }
+      }
+    }
+    return cur;
+  }
+
+  /// Beam search at one layer: best-first expansion keeping the ef best
+  /// visited nodes. Returns them sorted best-first.
+  std::vector<Scored> SearchLayer(const int8_t* query, int32_t start, int ef,
+                                  int layer, int64_t* dist_evals) const {
+    VisitBuffer& visits = LocalVisits();
+    visits.Begin(static_cast<size_t>(count()));
+    std::priority_queue<Scored, std::vector<Scored>, WorseCmp> candidates;
+    std::priority_queue<Scored, std::vector<Scored>, BetterCmp> results;
+    const Scored first{
+        static_cast<float>(DotQ(query, QVec(start), opts.dim)), start};
+    ++*dist_evals;
+    visits.Visit(start);
+    candidates.push(first);
+    results.push(first);
+    while (!candidates.empty()) {
+      const Scored cur = candidates.top();
+      if (static_cast<int>(results.size()) >= ef &&
+          Better(results.top(), cur)) {
+        break;
+      }
+      candidates.pop();
+      const auto [list, size] = Links(cur.slot, layer);
+      for (int i = 0; i < size; ++i) {
+        if (visits.marks[static_cast<size_t>(list[i])] != visits.epoch) {
+          Prefetch(QVec(list[i]));
+        }
+      }
+      for (int i = 0; i < size; ++i) {
+        const int32_t nb = list[i];
+        if (!visits.Visit(nb)) continue;
+        const float sim = static_cast<float>(DotQ(query, QVec(nb), opts.dim));
+        ++*dist_evals;
+        const Scored hit{sim, nb};
+        if (static_cast<int>(results.size()) < ef ||
+            Better(hit, results.top())) {
+          candidates.push(hit);
+          results.push(hit);
+          if (static_cast<int>(results.size()) > ef) results.pop();
+        }
+      }
+    }
+    std::vector<Scored> sorted(results.size());
+    for (size_t i = sorted.size(); i > 0; --i) {
+      sorted[i - 1] = results.top();
+      results.pop();
+    }
+    return sorted;
+  }
+
+  /// Malkov's diversity heuristic over best-first `candidates`: keep a
+  /// candidate only if it is closer to the query than to every already
+  /// kept neighbor. With `backfill`, skipped candidates top the list
+  /// back up to `m` in order (both call sites backfill today — measured
+  /// gold recall at 10^5 records is a hair better with it, and
+  /// Connect's shrink path requires it so exactly one survivor drops).
+  std::vector<Scored> SelectNeighbors(const std::vector<Scored>& candidates,
+                                      int m, bool backfill,
+                                      int64_t* dist_evals) const {
+    std::vector<Scored> kept, skipped;
+    for (const Scored& c : candidates) {
+      if (static_cast<int>(kept.size()) >= m) break;
+      bool diverse = true;
+      for (const Scored& k : kept) {
+        const float to_kept =
+            static_cast<float>(DotQ(QVec(c.slot), QVec(k.slot), opts.dim));
+        ++*dist_evals;
+        if (to_kept > c.sim) {
+          diverse = false;
+          break;
+        }
+      }
+      if (diverse) {
+        kept.push_back(c);
+      } else {
+        skipped.push_back(c);
+      }
+    }
+    if (backfill) {
+      for (const Scored& c : skipped) {
+        if (static_cast<int>(kept.size()) >= m) break;
+        kept.push_back(c);
+      }
+    }
+    return kept;
+  }
+
+  /// Makes `a` (the node being inserted) and `b` mutual neighbors at
+  /// `layer`, shrinking b's full list with the diversity heuristic.
+  /// Exactly one node drops out of a full list; if dropping it would
+  /// sever its last link at this layer, a different (still-connected)
+  /// victim is chosen instead — possibly `a` itself, in which case no
+  /// edge forms at all. Symmetry is preserved in every branch.
+  void Connect(int32_t a, int32_t b, float sim_ab, int layer,
+               int64_t* dist_evals) {
+    const int cap = LayerCap(layer);
+    const auto [blist, bsize] = Links(b, layer);
+    if (bsize < cap) {
+      AppendLink(b, a, layer);
+      AppendLink(a, b, layer);
+      return;
+    }
+    std::vector<Scored> candidates;
+    candidates.reserve(static_cast<size_t>(bsize) + 1);
+    for (int i = 0; i < bsize; ++i) {
+      candidates.push_back(Scored{
+          static_cast<float>(DotQ(QVec(b), QVec(blist[i]), opts.dim)),
+          blist[i]});
+      ++*dist_evals;
+    }
+    candidates.push_back(Scored{sim_ab, a});
+    std::sort(candidates.begin(), candidates.end(), Better);
+    std::vector<Scored> kept =
+        SelectNeighbors(candidates, cap, /*backfill=*/true, dist_evals);
+    // Find the single dropped candidate.
+    std::vector<char> is_kept(candidates.size(), 0);
+    for (const Scored& k : kept) {
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].slot == k.slot) is_kept[i] = 1;
+      }
+    }
+    size_t dropped_at = candidates.size();
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (!is_kept[i]) dropped_at = i;
+    }
+    HG_CHECK_LT(dropped_at, candidates.size());
+    Scored dropped = candidates[dropped_at];
+    if (dropped.slot != a && Degree(dropped.slot, layer) <= 1) {
+      // Re-victimize: the worst kept node that keeps its connectivity
+      // (`a` always qualifies — dropping it just skips the new edge).
+      for (size_t i = kept.size(); i > 0; --i) {
+        const Scored victim = kept[i - 1];
+        if (victim.slot == a || Degree(victim.slot, layer) > 1) {
+          kept[i - 1] = dropped;
+          dropped = victim;
+          std::sort(kept.begin(), kept.end(), Better);
+          break;
+        }
+      }
+    }
+    if (dropped.slot == a) return;  // No edge in either direction.
+    ReplaceLinks(b, layer, kept);
+    RemoveLink(dropped.slot, b, layer);
+    AppendLink(a, b, layer);
+  }
+
+  void Insert(int64_t id, const std::vector<float>& vector) {
+    std::unique_lock<std::shared_mutex> lock(mutex);
+    const int32_t slot = count();
+    HG_CHECK_LT(slot, kMaxExactF32);
+    vectors.insert(vectors.end(), vector.begin(), vector.end());
+    float* stored = vectors.data() + static_cast<size_t>(slot) * opts.dim;
+    float norm = 0.0f;
+    for (int i = 0; i < opts.dim; ++i) norm += stored[i] * stored[i];
+    if (norm > 0.0f) {
+      const float inv = 1.0f / std::sqrt(norm);
+      for (int i = 0; i < opts.dim; ++i) stored[i] *= inv;
+    }
+    qvectors.resize(qvectors.size() + static_cast<size_t>(opts.dim));
+    Quantize(stored, opts.dim,
+             qvectors.data() + static_cast<size_t>(slot) * opts.dim);
+    ids.push_back(id);
+    const int level = DrawLevel();
+    levels.push_back(level);
+    links0.insert(links0.end(), static_cast<size_t>(l0_cap), -1);
+    links0_size.push_back(0);
+    if (level >= 1) {
+      upper.emplace(slot,
+                    std::vector<std::vector<int32_t>>(
+                        static_cast<size_t>(level)));
+    }
+    if (entry < 0) {
+      entry = slot;
+      max_level = level;
+      return;
+    }
+    int64_t dist_evals = 0;
+    const int8_t* query = QVec(slot);
+    int32_t cur = entry;
+    for (int layer = max_level; layer > level; --layer) {
+      cur = GreedyStep(query, cur, layer, &dist_evals);
+    }
+    for (int layer = std::min(level, max_level); layer >= 0; --layer) {
+      std::vector<Scored> found =
+          SearchLayer(query, cur, opts.ef_construction, layer, &dist_evals);
+      cur = found.front().slot;
+      const std::vector<Scored> neighbors =
+          SelectNeighbors(found, opts.max_neighbors, /*backfill=*/true,
+                          &dist_evals);
+      for (const Scored& nb : neighbors) {
+        Connect(slot, nb.slot, nb.sim, layer, &dist_evals);
+      }
+    }
+    if (level > max_level) {
+      max_level = level;
+      entry = slot;
+    }
+    DistEvalCounter().Increment(dist_evals);
+  }
+
+  /// Top-n (similarity, slot) hits for `query`, best first. The walk
+  /// runs on the int8 copies; the whole ef-wide result pool is then
+  /// reranked with exact float dots, so quantization error only costs
+  /// recall when the true neighbor fell outside the beam entirely.
+  std::vector<Scored> Search(const float* query, int n,
+                             int64_t* dist_evals) const {
+    if (count() == 0 || n <= 0) return {};
+    std::vector<float> unit(query, query + opts.dim);
+    float norm = 0.0f;
+    for (const float v : unit) norm += v * v;
+    if (norm > 0.0f) {
+      const float inv = 1.0f / std::sqrt(norm);
+      for (float& v : unit) v *= inv;
+    }
+    std::vector<int8_t> q(static_cast<size_t>(opts.dim));
+    Quantize(unit.data(), opts.dim, q.data());
+    int32_t cur = entry;
+    for (int layer = max_level; layer >= 1; --layer) {
+      cur = GreedyStep(q.data(), cur, layer, dist_evals);
+    }
+    std::vector<Scored> found = SearchLayer(
+        q.data(), cur, std::max(opts.ef_search, n), 0, dist_evals);
+    for (Scored& f : found) {
+      f.sim = Dot(query, Vec(f.slot), opts.dim);
+      ++*dist_evals;
+    }
+    std::sort(found.begin(), found.end(), Better);
+    if (static_cast<int>(found.size()) > n) {
+      found.resize(static_cast<size_t>(n));
+    }
+    return found;
+  }
+};
+
+AnnIndex::AnnIndex(const AnnIndexOptions& options) : options_(options) {
+  const Status valid = ValidateOptions(options_);
+  HG_CHECK(valid.ok()) << valid.ToString();
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_, i));
+  }
+}
+
+AnnIndex::~AnnIndex() = default;
+AnnIndex::AnnIndex(AnnIndex&&) noexcept = default;
+AnnIndex& AnnIndex::operator=(AnnIndex&&) noexcept = default;
+
+Status AnnIndex::ValidateOptions(const AnnIndexOptions& options) {
+  if (options.dim < 1 || options.dim > kMaxDim) {
+    return Status::InvalidArgument("ann: dim out of range");
+  }
+  if (options.num_shards < 1 || options.num_shards > kMaxShards) {
+    return Status::InvalidArgument("ann: num_shards out of range");
+  }
+  if (options.max_neighbors < 2 || options.max_neighbors > 256) {
+    return Status::InvalidArgument("ann: max_neighbors out of range");
+  }
+  if (options.ef_construction < 1 || options.ef_search < 1) {
+    return Status::InvalidArgument("ann: ef out of range");
+  }
+  return Status::Ok();
+}
+
+AnnIndex::Shard& AnnIndex::ShardFor(int64_t id) {
+  const uint64_t hash = SplitMix64(static_cast<uint64_t>(id));
+  return *shards_[hash % static_cast<uint64_t>(shards_.size())];
+}
+
+void AnnIndex::Insert(int64_t id, const std::vector<float>& vector) {
+  HG_CHECK_GE(id, 0);
+  HG_CHECK_LT(id, kMaxId);
+  HG_CHECK_EQ(static_cast<int>(vector.size()), options_.dim);
+  ShardFor(id).Insert(id, vector);
+  InsertCounter().Increment();
+  SizeGauge().Add(1.0);
+}
+
+int64_t AnnIndex::size() const {
+  int64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    total += shard->count();
+  }
+  return total;
+}
+
+std::vector<AnnIndex::Hit> AnnIndex::Search(const std::vector<float>& query,
+                                            int n, int64_t exclude) const {
+  HG_CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  if (n <= 0) return {};
+  SearchCounter().Increment();
+  int64_t dist_evals = 0;
+  // Per-shard top lists, each sorted best-first.
+  std::vector<std::vector<Hit>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    // Ask for one extra hit so excluding the query itself still leaves n.
+    const std::vector<Scored> found =
+        shard.Search(query.data(), n + 1, &dist_evals);
+    for (const Scored& f : found) {
+      const int64_t hit_id = shard.ids[static_cast<size_t>(f.slot)];
+      if (hit_id == exclude) continue;
+      per_shard[s].push_back(Hit{hit_id, f.sim});
+    }
+    // Shard results arrive tied-broken by slot; the public contract is
+    // ties by ascending external id.
+    std::sort(per_shard[s].begin(), per_shard[s].end(),
+              [](const Hit& a, const Hit& b) {
+                return a.similarity > b.similarity ||
+                       (a.similarity == b.similarity && a.id < b.id);
+              });
+  }
+  DistEvalCounter().Increment(dist_evals);
+  // K-way heap merge of the sorted shard lists.
+  struct Head {
+    float sim;
+    int64_t id;
+    size_t shard;
+    size_t pos;
+  };
+  auto head_worse = [](const Head& a, const Head& b) {
+    return a.sim < b.sim || (a.sim == b.sim && a.id > b.id);
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(head_worse)> heads(
+      head_worse);
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (!per_shard[s].empty()) {
+      heads.push(Head{per_shard[s][0].similarity, per_shard[s][0].id, s, 0});
+    }
+  }
+  std::vector<Hit> merged;
+  merged.reserve(static_cast<size_t>(n));
+  while (!heads.empty() && static_cast<int>(merged.size()) < n) {
+    const Head head = heads.top();
+    heads.pop();
+    merged.push_back(Hit{head.id, head.sim});
+    const size_t next = head.pos + 1;
+    if (next < per_shard[head.shard].size()) {
+      const Hit& h = per_shard[head.shard][next];
+      heads.push(Head{h.similarity, h.id, head.shard, next});
+    }
+  }
+  return merged;
+}
+
+std::vector<AnnIndex::Hit> AnnIndex::SearchBruteForce(
+    const std::vector<float>& query, int n, int64_t exclude) const {
+  HG_CHECK_EQ(static_cast<int>(query.size()), options_.dim);
+  if (n <= 0) return {};
+  std::vector<Hit> all;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mutex);
+    for (int32_t slot = 0; slot < shard->count(); ++slot) {
+      const int64_t id = shard->ids[static_cast<size_t>(slot)];
+      if (id == exclude) continue;
+      all.push_back(Hit{id, Dot(query.data(), shard->Vec(slot), options_.dim)});
+    }
+  }
+  const size_t keep = std::min<size_t>(static_cast<size_t>(n), all.size());
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const Hit& a, const Hit& b) {
+                      return a.similarity > b.similarity ||
+                             (a.similarity == b.similarity && a.id < b.id);
+                    });
+  all.resize(keep);
+  return all;
+}
+
+Status AnnIndex::CheckInvariants() const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const int32_t n = shard.count();
+    const std::string where = "shard " + std::to_string(s) + ": ";
+    if (n == 0) {
+      if (shard.entry != -1) {
+        return Status::Internal(where + "empty shard has an entry point");
+      }
+      continue;
+    }
+    if (shard.entry < 0 || shard.entry >= n) {
+      return Status::Internal(where + "entry point out of range");
+    }
+    if (shard.levels[static_cast<size_t>(shard.entry)] != shard.max_level) {
+      return Status::Internal(where + "entry point is not at max_level");
+    }
+    for (int32_t u = 0; u < n; ++u) {
+      const int level = shard.levels[static_cast<size_t>(u)];
+      if (level < 0 || level > shard.max_level) {
+        return Status::Internal(where + "node level out of range");
+      }
+      const auto it = shard.upper.find(u);
+      const int upper_layers =
+          it == shard.upper.end() ? 0 : static_cast<int>(it->second.size());
+      if (upper_layers != level) {
+        return Status::Internal(where + "upper layer count != node level");
+      }
+      for (int layer = 0; layer <= level; ++layer) {
+        const auto [list, size] = shard.Links(u, layer);
+        if (size > shard.LayerCap(layer)) {
+          return Status::Internal(where + "link list over capacity");
+        }
+        for (int i = 0; i < size; ++i) {
+          const int32_t v = list[i];
+          if (v < 0 || v >= n || v == u) {
+            return Status::Internal(where + "link target out of range");
+          }
+          if (shard.levels[static_cast<size_t>(v)] < layer) {
+            return Status::Internal(where + "link target below layer");
+          }
+          for (int j = i + 1; j < size; ++j) {
+            if (list[j] == v) {
+              return Status::Internal(where + "duplicate link");
+            }
+          }
+          // Bidirectionality: v must list u at the same layer.
+          const auto [back, back_size] = shard.Links(v, layer);
+          bool found = false;
+          for (int j = 0; j < back_size; ++j) found |= back[j] == u;
+          if (!found) {
+            return Status::Internal(where + "missing reverse link");
+          }
+        }
+      }
+    }
+    // Reachability from the entry point at every layer (BFS).
+    for (int layer = 0; layer <= shard.max_level; ++layer) {
+      if (shard.levels[static_cast<size_t>(shard.entry)] < layer) {
+        return Status::Internal(where + "entry below its own max level");
+      }
+      std::vector<char> seen(static_cast<size_t>(n), 0);
+      std::vector<int32_t> queue = {shard.entry};
+      seen[static_cast<size_t>(shard.entry)] = 1;
+      while (!queue.empty()) {
+        const int32_t u = queue.back();
+        queue.pop_back();
+        const auto [list, size] = shard.Links(u, layer);
+        for (int i = 0; i < size; ++i) {
+          if (!seen[static_cast<size_t>(list[i])]) {
+            seen[static_cast<size_t>(list[i])] = 1;
+            queue.push_back(list[i]);
+          }
+        }
+      }
+      for (int32_t u = 0; u < n; ++u) {
+        if (shard.levels[static_cast<size_t>(u)] >= layer &&
+            !seen[static_cast<size_t>(u)]) {
+          return Status::Internal(where + "node unreachable at layer " +
+                                  std::to_string(layer));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+// -- Persistence --------------------------------------------------------
+//
+// HGCK image, model tag "HierGATAnnIndex" (DESIGN.md §16):
+//   meta: format=ann-hnsw-v1, dim, num_shards, max_neighbors,
+//         ef_construction, ef_search, seed, shard<k>.entry,
+//         shard<k>.max_level, shard<k>.count
+//   tensors (per non-empty shard k; all f32, integers stored exactly):
+//     shard<k>.vectors [n, dim]   normalized embeddings
+//     shard<k>.ids     [n, 2]     external id split hi = id >> 24,
+//                                 lo = id & 0xffffff (ids < 2^47)
+//     shard<k>.levels  [n]
+//     shard<k>.links0  [n, 2M]    layer-0 adjacency, -1 padded
+//     shard<k>.upper   [rows, 3]  (node, layer, neighbor) triples for
+//                                 layers >= 1 (absent when none)
+// The container's CRC covers every byte (like Q8_0 slots); Parse then
+// re-validates all structural fields before allocating the graph.
+
+namespace {
+
+constexpr const char* kAnnModelTag = "HierGATAnnIndex";
+constexpr const char* kAnnFormat = "ann-hnsw-v1";
+
+std::string ShardKey(size_t shard, const char* field) {
+  return "shard" + std::to_string(shard) + "." + field;
+}
+
+/// Reads a stored f32 that must hold an exact small integer.
+Status AsInt(float value, int64_t min, int64_t max, const char* what,
+             int64_t* out) {
+  if (!(value >= static_cast<float>(min)) ||
+      !(value <= static_cast<float>(max)) ||
+      value != std::floor(value)) {
+    return Status::InvalidArgument(std::string("ann image: ") + what +
+                                   " is not an integer in range");
+  }
+  *out = static_cast<int64_t>(value);
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::string> AnnIndex::SerializeToString() const {
+  HG_TRACE_SPAN("AnnIndex::Serialize");
+  TensorWriter writer(kAnnModelTag);
+  writer.SetMeta("format", kAnnFormat);
+  writer.SetMetaInt("dim", options_.dim);
+  writer.SetMetaInt("num_shards", options_.num_shards);
+  writer.SetMetaInt("max_neighbors", options_.max_neighbors);
+  writer.SetMetaInt("ef_construction", options_.ef_construction);
+  writer.SetMetaInt("ef_search", options_.ef_search);
+  writer.SetMeta("seed", std::to_string(options_.seed));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mutex);
+    const int32_t n = shard.count();
+    if (n >= kMaxExactF32) {
+      return Status::FailedPrecondition(
+          "ann: shard too large for f32-exact serialization");
+    }
+    writer.SetMetaInt(ShardKey(s, "count"), n);
+    writer.SetMetaInt(ShardKey(s, "entry"), shard.entry);
+    writer.SetMetaInt(ShardKey(s, "max_level"), shard.max_level);
+    if (n == 0) continue;
+    Tensor vectors = Tensor::FromVector(
+        {n, options_.dim},
+        std::vector<float>(shard.vectors.begin(), shard.vectors.end()));
+    Status status = writer.Add(ShardKey(s, "vectors"), vectors);
+    if (!status.ok()) return status;
+    std::vector<float> id_parts(static_cast<size_t>(n) * 2);
+    for (int32_t i = 0; i < n; ++i) {
+      const int64_t id = shard.ids[static_cast<size_t>(i)];
+      id_parts[static_cast<size_t>(i) * 2] =
+          static_cast<float>(id >> 24);
+      id_parts[static_cast<size_t>(i) * 2 + 1] =
+          static_cast<float>(id & 0xffffff);
+    }
+    status = writer.Add(ShardKey(s, "ids"),
+                        Tensor::FromVector({n, 2}, std::move(id_parts)));
+    if (!status.ok()) return status;
+    status = writer.Add(
+        ShardKey(s, "levels"),
+        Tensor::FromVector({n}, std::vector<float>(shard.levels.begin(),
+                                                   shard.levels.end())));
+    if (!status.ok()) return status;
+    status = writer.Add(
+        ShardKey(s, "links0"),
+        Tensor::FromVector({n, shard.l0_cap},
+                           std::vector<float>(shard.links0.begin(),
+                                              shard.links0.end())));
+    if (!status.ok()) return status;
+    std::vector<float> upper_rows;
+    for (int32_t u = 0; u < n; ++u) {
+      const auto it = shard.upper.find(u);
+      if (it == shard.upper.end()) continue;
+      for (size_t layer = 0; layer < it->second.size(); ++layer) {
+        for (const int32_t v : it->second[layer]) {
+          upper_rows.push_back(static_cast<float>(u));
+          upper_rows.push_back(static_cast<float>(layer + 1));
+          upper_rows.push_back(static_cast<float>(v));
+        }
+      }
+    }
+    if (!upper_rows.empty()) {
+      const int rows = static_cast<int>(upper_rows.size() / 3);
+      status = writer.Add(ShardKey(s, "upper"),
+                          Tensor::FromVector({rows, 3}, std::move(upper_rows)));
+      if (!status.ok()) return status;
+    }
+  }
+  return writer.SerializeToString();
+}
+
+Status AnnIndex::Save(const std::string& path) const {
+  StatusOr<std::string> bytes = SerializeToString();
+  if (!bytes.ok()) return bytes.status();
+  return WriteFileAtomic(path, bytes.value());
+}
+
+StatusOr<AnnIndex> AnnIndex::Parse(const std::string& bytes) {
+  HG_TRACE_SPAN("AnnIndex::Parse");
+  StatusOr<TensorReader> reader_or = TensorReader::Parse(bytes);
+  if (!reader_or.ok()) return reader_or.status();
+  const TensorReader& reader = reader_or.value();
+  if (reader.model_tag() != kAnnModelTag) {
+    return Status::InvalidArgument("ann image: wrong model tag \"" +
+                                   reader.model_tag() + "\"");
+  }
+  const std::string* format = reader.FindMeta("format");
+  if (format == nullptr || *format != kAnnFormat) {
+    return Status::InvalidArgument("ann image: unknown format");
+  }
+  AnnIndexOptions options;
+  StatusOr<int64_t> meta_int = reader.GetMetaInt("dim");
+  if (!meta_int.ok()) return meta_int.status();
+  options.dim = static_cast<int>(meta_int.value());
+  meta_int = reader.GetMetaInt("num_shards");
+  if (!meta_int.ok()) return meta_int.status();
+  options.num_shards = static_cast<int>(meta_int.value());
+  meta_int = reader.GetMetaInt("max_neighbors");
+  if (!meta_int.ok()) return meta_int.status();
+  options.max_neighbors = static_cast<int>(meta_int.value());
+  meta_int = reader.GetMetaInt("ef_construction");
+  if (!meta_int.ok()) return meta_int.status();
+  options.ef_construction = static_cast<int>(meta_int.value());
+  meta_int = reader.GetMetaInt("ef_search");
+  if (!meta_int.ok()) return meta_int.status();
+  options.ef_search = static_cast<int>(meta_int.value());
+  const std::string* seed_text = reader.FindMeta("seed");
+  if (seed_text == nullptr) {
+    return Status::InvalidArgument("ann image: missing seed");
+  }
+  options.seed = std::strtoull(seed_text->c_str(), nullptr, 10);
+  Status valid = ValidateOptions(options);
+  if (!valid.ok()) return valid;
+
+  AnnIndex index(options);
+  for (size_t s = 0; s < index.shards_.size(); ++s) {
+    Shard& shard = *index.shards_[s];
+    meta_int = reader.GetMetaInt(ShardKey(s, "count"));
+    if (!meta_int.ok()) return meta_int.status();
+    const int64_t n64 = meta_int.value();
+    if (n64 < 0 || n64 >= kMaxExactF32) {
+      return Status::InvalidArgument("ann image: shard count out of range");
+    }
+    const int32_t n = static_cast<int32_t>(n64);
+    meta_int = reader.GetMetaInt(ShardKey(s, "entry"));
+    if (!meta_int.ok()) return meta_int.status();
+    const int64_t entry = meta_int.value();
+    meta_int = reader.GetMetaInt(ShardKey(s, "max_level"));
+    if (!meta_int.ok()) return meta_int.status();
+    const int64_t max_level = meta_int.value();
+    if (n == 0) {
+      if (entry != -1 || max_level != -1) {
+        return Status::InvalidArgument(
+            "ann image: empty shard with graph state");
+      }
+      continue;
+    }
+    if (entry < 0 || entry >= n || max_level < 0 || max_level > kMaxLevel) {
+      return Status::InvalidArgument(
+          "ann image: entry/max_level out of range");
+    }
+    // Shapes must match the meta before any ReadInto allocates.
+    const Shape* shape = reader.FindShape(ShardKey(s, "vectors"));
+    if (shape == nullptr || shape->size() != 2 || (*shape)[0] != n ||
+        (*shape)[1] != options.dim) {
+      return Status::InvalidArgument("ann image: bad vectors shape");
+    }
+    Tensor vectors = Tensor::Zeros({n, options.dim});
+    Status status = reader.ReadInto(ShardKey(s, "vectors"), &vectors);
+    if (!status.ok()) return status;
+    for (const float v : vectors.data()) {
+      if (!std::isfinite(v)) {
+        return Status::InvalidArgument("ann image: non-finite vector value");
+      }
+    }
+    shard.vectors.assign(vectors.data().begin(), vectors.data().end());
+    shard.RequantizeAll();
+
+    shape = reader.FindShape(ShardKey(s, "ids"));
+    if (shape == nullptr || shape->size() != 2 || (*shape)[0] != n ||
+        (*shape)[1] != 2) {
+      return Status::InvalidArgument("ann image: bad ids shape");
+    }
+    Tensor ids = Tensor::Zeros({n, 2});
+    status = reader.ReadInto(ShardKey(s, "ids"), &ids);
+    if (!status.ok()) return status;
+    shard.ids.resize(static_cast<size_t>(n));
+    for (int32_t i = 0; i < n; ++i) {
+      int64_t hi = 0, lo = 0;
+      status = AsInt(ids.at(i, 0), 0, (kMaxId >> 24) - 1, "id", &hi);
+      if (!status.ok()) return status;
+      status = AsInt(ids.at(i, 1), 0, 0xffffff, "id", &lo);
+      if (!status.ok()) return status;
+      shard.ids[static_cast<size_t>(i)] = (hi << 24) | lo;
+    }
+
+    shape = reader.FindShape(ShardKey(s, "levels"));
+    if (shape == nullptr || shape->size() != 1 || (*shape)[0] != n) {
+      return Status::InvalidArgument("ann image: bad levels shape");
+    }
+    Tensor levels = Tensor::Zeros({n});
+    status = reader.ReadInto(ShardKey(s, "levels"), &levels);
+    if (!status.ok()) return status;
+    shard.levels.resize(static_cast<size_t>(n));
+    for (int32_t i = 0; i < n; ++i) {
+      int64_t level = 0;
+      status = AsInt(levels.data()[static_cast<size_t>(i)], 0, max_level,
+                     "level", &level);
+      if (!status.ok()) return status;
+      shard.levels[static_cast<size_t>(i)] = static_cast<int32_t>(level);
+      if (level >= 1) {
+        shard.upper.emplace(i, std::vector<std::vector<int32_t>>(
+                                   static_cast<size_t>(level)));
+      }
+    }
+    if (shard.levels[static_cast<size_t>(entry)] != max_level) {
+      return Status::InvalidArgument("ann image: entry not at max_level");
+    }
+
+    shape = reader.FindShape(ShardKey(s, "links0"));
+    if (shape == nullptr || shape->size() != 2 || (*shape)[0] != n ||
+        (*shape)[1] != shard.l0_cap) {
+      return Status::InvalidArgument("ann image: bad links0 shape");
+    }
+    Tensor links0 = Tensor::Zeros({n, shard.l0_cap});
+    status = reader.ReadInto(ShardKey(s, "links0"), &links0);
+    if (!status.ok()) return status;
+    shard.links0.assign(static_cast<size_t>(n) * shard.l0_cap, -1);
+    shard.links0_size.assign(static_cast<size_t>(n), 0);
+    for (int32_t u = 0; u < n; ++u) {
+      bool ended = false;
+      for (int i = 0; i < shard.l0_cap; ++i) {
+        const float raw = links0.at(u, i);
+        if (raw == -1.0f) {
+          ended = true;
+          continue;
+        }
+        if (ended) {
+          return Status::InvalidArgument(
+              "ann image: link after end-of-list padding");
+        }
+        int64_t v = 0;
+        status = AsInt(raw, 0, n - 1, "layer-0 link", &v);
+        if (!status.ok()) return status;
+        if (v == u) {
+          return Status::InvalidArgument("ann image: self link");
+        }
+        shard.links0[static_cast<size_t>(u) * shard.l0_cap + i] =
+            static_cast<int32_t>(v);
+        ++shard.links0_size[static_cast<size_t>(u)];
+      }
+    }
+
+    if (reader.Contains(ShardKey(s, "upper"))) {
+      shape = reader.FindShape(ShardKey(s, "upper"));
+      if (shape == nullptr || shape->size() != 2 || (*shape)[1] != 3 ||
+          (*shape)[0] < 1) {
+        return Status::InvalidArgument("ann image: bad upper shape");
+      }
+      const int rows = (*shape)[0];
+      Tensor upper = Tensor::Zeros({rows, 3});
+      status = reader.ReadInto(ShardKey(s, "upper"), &upper);
+      if (!status.ok()) return status;
+      for (int r = 0; r < rows; ++r) {
+        int64_t u = 0, layer = 0, v = 0;
+        status = AsInt(upper.at(r, 0), 0, n - 1, "upper node", &u);
+        if (!status.ok()) return status;
+        status = AsInt(upper.at(r, 1), 1, kMaxLevel, "upper layer", &layer);
+        if (!status.ok()) return status;
+        status = AsInt(upper.at(r, 2), 0, n - 1, "upper link", &v);
+        if (!status.ok()) return status;
+        if (layer > shard.levels[static_cast<size_t>(u)] || v == u) {
+          return Status::InvalidArgument("ann image: invalid upper link");
+        }
+        auto& lists = shard.upper[static_cast<int32_t>(u)];
+        std::vector<int32_t>& list = lists[static_cast<size_t>(layer - 1)];
+        if (static_cast<int>(list.size()) >= options.max_neighbors) {
+          return Status::InvalidArgument(
+              "ann image: upper link list over capacity");
+        }
+        list.push_back(static_cast<int32_t>(v));
+      }
+    }
+
+    shard.entry = static_cast<int32_t>(entry);
+    shard.max_level = static_cast<int32_t>(max_level);
+    // Replay the level-draw stream (one NextFloat per insert) so inserts
+    // after a load continue exactly where a never-saved index would be.
+    for (int32_t i = 0; i < n; ++i) shard.rng.NextFloat();
+  }
+  SizeGauge().Add(static_cast<double>(index.size()));
+  return index;
+}
+
+StatusOr<AnnIndex> AnnIndex::Load(const std::string& path) {
+  StatusOr<TensorReader> probe = TensorReader::Open(path);
+  if (!probe.ok()) return probe.status();
+  // Re-parse from the validated bytes via the shared path. Open already
+  // did the CRC work; this keeps one semantic validator for both entry
+  // points at the cost of re-reading a file that loads once per serve.
+  std::string bytes;
+  bytes.reserve(probe.value().file_bytes());
+  {
+    // TensorReader does not expose its bytes; read the file again.
+    FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::IOError("ann: cannot reopen " + path);
+    char buffer[1 << 16];
+    size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      bytes.append(buffer, got);
+    }
+    std::fclose(f);
+  }
+  return Parse(bytes);
+}
+
+}  // namespace hiergat

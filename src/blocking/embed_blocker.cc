@@ -1,0 +1,248 @@
+#include "blocking/embed_blocker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "core/logging.h"
+#include "core/rng.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace hiergat {
+
+namespace {
+
+obs::Counter& EmbedQueriesCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.blocking.embed_queries");
+  return counter;
+}
+obs::Counter& ProgressivePairsCounter() {
+  static obs::Counter& counter = obs::MetricsRegistry::Global().GetCounter(
+      "hiergat.blocking.progressive_pairs");
+  return counter;
+}
+obs::Histogram& EmbedAddSeconds() {
+  static obs::Histogram& histogram =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "hiergat.blocking.embed_add_seconds");
+  return histogram;
+}
+
+}  // namespace
+
+HashedNgramEmbedder::HashedNgramEmbedder(int dim, uint64_t seed)
+    : dim_(dim), embeddings_(dim, /*min_n=*/3, /*max_n=*/5, seed) {}
+
+std::vector<float> HashedNgramEmbedder::operator()(
+    const Entity& entity) const {
+  std::vector<float> sum(static_cast<size_t>(dim_), 0.0f);
+  int words = 0;
+  for (const std::string& token : entity.AllValueTokens()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = word_cache_.find(token);
+    if (it == word_cache_.end()) {
+      it = word_cache_.emplace(token, embeddings_.WordVector(token)).first;
+    }
+    for (int i = 0; i < dim_; ++i) {
+      sum[static_cast<size_t>(i)] += it->second[static_cast<size_t>(i)];
+    }
+    ++words;
+  }
+  if (words == 0) return sum;
+  float norm = 0.0f;
+  for (const float v : sum) norm += v * v;
+  if (norm > 0.0f) {
+    const float inv = 1.0f / std::sqrt(norm);
+    for (float& v : sum) v *= inv;
+  }
+  return sum;
+}
+
+EmbedBlocker::EmbedBlocker(const EmbedBlockOptions& options, EmbeddingFn embed)
+    : options_(options), embed_(std::move(embed)), index_(options.index) {
+  if (embed_ == nullptr) {
+    // std::function needs a copyable callable; the embedder carries a
+    // mutex, so the default goes behind a shared_ptr.
+    auto embedder = std::make_shared<HashedNgramEmbedder>(options.index.dim);
+    embed_ = [embedder](const Entity& entity) { return (*embedder)(entity); };
+  }
+}
+
+void EmbedBlocker::Add(int64_t id, const Entity& entity) {
+  obs::ScopedLatency latency(EmbedAddSeconds());
+  index_.Insert(id, embed_(entity));
+}
+
+void EmbedBlocker::AddAll(const std::vector<Entity>& corpus) {
+  HG_TRACE_SPAN("EmbedBlocker::AddAll");
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    Add(static_cast<int64_t>(i), corpus[i]);
+  }
+}
+
+std::vector<AnnIndex::Hit> EmbedBlocker::TopN(const Entity& query, int n,
+                                              int64_t exclude) const {
+  HG_TRACE_SPAN("EmbedBlocker::TopN");
+  EmbedQueriesCounter().Increment();
+  return index_.Search(embed_(query), n, exclude);
+}
+
+ProgressiveCandidates::ProgressiveCandidates(
+    const EmbedBlocker& blocker, const std::vector<Entity>& queries,
+    const EmbedBlockOptions& options)
+    : blocker_(blocker),
+      queries_(queries),
+      top_n_(options.top_n),
+      num_bands_(std::max(1, options.bands)) {}
+
+void ProgressiveCandidates::SearchAll() {
+  HG_TRACE_SPAN("ProgressiveCandidates::SearchAll");
+  searched_ = true;
+  std::vector<CandidatePair> pairs;
+  pairs.reserve(queries_.size() * static_cast<size_t>(top_n_));
+  float max_sim = -1.0f, min_sim = 1.0f;
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    const std::vector<AnnIndex::Hit> hits =
+        blocker_.TopN(queries_[qi], top_n_);
+    for (const AnnIndex::Hit& hit : hits) {
+      pairs.push_back(CandidatePair{static_cast<int>(qi), hit.id,
+                                    hit.similarity});
+      max_sim = std::max(max_sim, hit.similarity);
+      min_sim = std::min(min_sim, hit.similarity);
+    }
+  }
+  total_pairs_ = static_cast<int>(pairs.size());
+  ProgressivePairsCounter().Increment(static_cast<int64_t>(pairs.size()));
+  if (pairs.empty()) return;
+  // Floors descend evenly from the observed max to the observed min;
+  // the last floor is exactly min_sim so every pair lands in a band.
+  const float step = (max_sim - min_sim) / static_cast<float>(num_bands_);
+  floors_.resize(static_cast<size_t>(num_bands_));
+  for (int k = 0; k < num_bands_; ++k) {
+    floors_[static_cast<size_t>(k)] =
+        k + 1 == num_bands_ ? min_sim
+                            : max_sim - static_cast<float>(k + 1) * step;
+  }
+  bands_.assign(static_cast<size_t>(num_bands_), {});
+  for (const CandidatePair& pair : pairs) {
+    size_t band = 0;
+    while (band + 1 < floors_.size() && pair.similarity < floors_[band]) {
+      ++band;
+    }
+    bands_[band].push_back(pair);
+  }
+  for (std::vector<CandidatePair>& band : bands_) {
+    std::sort(band.begin(), band.end(),
+              [](const CandidatePair& a, const CandidatePair& b) {
+                if (a.similarity != b.similarity) {
+                  return a.similarity > b.similarity;
+                }
+                if (a.query != b.query) return a.query < b.query;
+                return a.candidate < b.candidate;
+              });
+  }
+}
+
+std::vector<CandidatePair> ProgressiveCandidates::NextBatch() {
+  if (!searched_) SearchAll();
+  if (next_band_ >= bands_.size()) return {};
+  return std::move(bands_[next_band_++]);
+}
+
+namespace {
+
+/// Shuffles indices [0, n) and splits them 3:1:1 — the same protocol as
+/// blocker.cc's SplitIndices so TF-IDF and embedding builds see
+/// identical query splits for a given seed.
+void SplitIndicesEmbed(int n, uint64_t seed, std::vector<int>* train,
+                       std::vector<int>* valid, std::vector<int>* test) {
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
+  Rng rng(seed);
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextUint64(i)]);
+  }
+  const size_t train_end = order.size() * 3 / 5;
+  const size_t valid_end = order.size() * 4 / 5;
+  train->assign(order.begin(), order.begin() + train_end);
+  valid->assign(order.begin() + train_end, order.begin() + valid_end);
+  test->assign(order.begin() + valid_end, order.end());
+}
+
+}  // namespace
+
+CollectiveDataset BuildCollectiveEmbed(const TwoTableDataset& raw,
+                                       const EmbedBlockOptions& options) {
+  HG_TRACE_SPAN("BuildCollectiveEmbed");
+  std::unordered_map<int, int> gold;
+  for (const auto& [a, b] : raw.matches) gold[a] = b;
+
+  CollectiveDataset out;
+  out.name = raw.name;
+  std::vector<int> train, valid, test;
+  SplitIndicesEmbed(static_cast<int>(raw.table_a.size()), options.seed,
+                    &train, &valid, &test);
+
+  // §6.3: split first, then block inside each split.
+  EmbedBlocker blocker(options);
+  blocker.AddAll(raw.table_b);
+  auto build = [&](const std::vector<int>& queries,
+                   std::vector<CollectiveQuery>* split) {
+    for (int qi : queries) {
+      CollectiveQuery q;
+      q.query = raw.table_a[static_cast<size_t>(qi)];
+      const std::vector<AnnIndex::Hit> top =
+          blocker.TopN(q.query, options.top_n, /*exclude=*/-1);
+      const auto it = gold.find(qi);
+      for (const AnnIndex::Hit& hit : top) {
+        const int bj = static_cast<int>(hit.id);
+        q.candidates.push_back(raw.table_b[static_cast<size_t>(bj)]);
+        q.labels.push_back(it != gold.end() && it->second == bj ? 1 : 0);
+      }
+      split->push_back(std::move(q));
+    }
+  };
+  build(train, &out.train);
+  build(valid, &out.valid);
+  build(test, &out.test);
+  return out;
+}
+
+CollectiveDataset BuildCollectiveFromMultiSourceEmbed(
+    const MultiSourceDataset& raw, const EmbedBlockOptions& options) {
+  HG_TRACE_SPAN("BuildCollectiveFromMultiSourceEmbed");
+  CollectiveDataset out;
+  out.name = raw.name;
+  std::vector<int> train, valid, test;
+  SplitIndicesEmbed(static_cast<int>(raw.entities.size()), options.seed,
+                    &train, &valid, &test);
+  EmbedBlocker blocker(options);
+  blocker.AddAll(raw.entities);
+  auto build = [&](const std::vector<int>& queries,
+                   std::vector<CollectiveQuery>* split) {
+    for (int qi : queries) {
+      CollectiveQuery q;
+      q.query = raw.entities[static_cast<size_t>(qi)];
+      const std::vector<AnnIndex::Hit> top =
+          blocker.TopN(q.query, options.top_n, /*exclude=*/qi);
+      const int cluster = raw.cluster_ids[static_cast<size_t>(qi)];
+      for (const AnnIndex::Hit& hit : top) {
+        const int j = static_cast<int>(hit.id);
+        q.candidates.push_back(raw.entities[static_cast<size_t>(j)]);
+        q.labels.push_back(
+            raw.cluster_ids[static_cast<size_t>(j)] == cluster ? 1 : 0);
+      }
+      split->push_back(std::move(q));
+    }
+  };
+  build(train, &out.train);
+  build(valid, &out.valid);
+  build(test, &out.test);
+  return out;
+}
+
+}  // namespace hiergat

@@ -1,0 +1,409 @@
+#include "blocking/ann_index.h"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "blocking/blocker.h"
+#include "blocking/embed_blocker.h"
+#include "core/rng.h"
+#include "data/synthetic.h"
+
+namespace hiergat {
+namespace {
+
+/// Clustered unit-ish vectors: `num_clusters` random centers, each point
+/// a center plus noise — the shape real embedding spaces have, and the
+/// regime where ANN recall is meaningful (uniform random vectors make
+/// every neighbor equally far).
+std::vector<std::vector<float>> ClusteredVectors(int n, int dim,
+                                                 int num_clusters,
+                                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> centers(
+      static_cast<size_t>(num_clusters));
+  for (auto& c : centers) {
+    c.resize(static_cast<size_t>(dim));
+    for (float& v : c) v = rng.NextFloat(-1.0f, 1.0f);
+  }
+  std::vector<std::vector<float>> points(static_cast<size_t>(n));
+  for (auto& p : points) {
+    const auto& c = centers[rng.NextUint64(static_cast<uint64_t>(num_clusters))];
+    p.resize(static_cast<size_t>(dim));
+    for (int i = 0; i < dim; ++i) {
+      p[static_cast<size_t>(i)] =
+          c[static_cast<size_t>(i)] + rng.NextFloat(-0.15f, 0.15f);
+    }
+  }
+  return points;
+}
+
+/// Fraction of brute-force top-k ids that Search reproduces, averaged
+/// over `num_queries` held-out probes.
+float RecallAtK(const AnnIndex& index,
+                const std::vector<std::vector<float>>& queries, int k) {
+  int hit = 0, total = 0;
+  for (const auto& q : queries) {
+    const auto approx = index.Search(q, k);
+    const auto exact = index.SearchBruteForce(q, k);
+    std::set<int64_t> approx_ids;
+    for (const auto& h : approx) approx_ids.insert(h.id);
+    for (const auto& h : exact) {
+      hit += approx_ids.count(h.id) ? 1 : 0;
+      ++total;
+    }
+  }
+  return total == 0 ? 1.0f : static_cast<float>(hit) / static_cast<float>(total);
+}
+
+AnnIndexOptions SmallOptions(int dim, int shards) {
+  AnnIndexOptions options;
+  options.dim = dim;
+  options.num_shards = shards;
+  return options;
+}
+
+TEST(AnnPropertyTest, RecallMatchesBruteForceAcrossConfigs) {
+  // The headline property: recall@10 vs exact search stays high across
+  // dimension and shard-count permutations, with fixed seeds.
+  for (const int dim : {8, 32}) {
+    for (const int shards : {1, 3}) {
+      AnnIndex index(SmallOptions(dim, shards));
+      const auto points = ClusteredVectors(1500, dim, 20, 101 + dim + shards);
+      for (size_t i = 0; i < points.size(); ++i) {
+        index.Insert(static_cast<int64_t>(i), points[i]);
+      }
+      const auto queries =
+          ClusteredVectors(60, dim, 20, 101 + dim + shards);  // Same centers.
+      const float recall = RecallAtK(index, queries, 10);
+      EXPECT_GE(recall, 0.9f) << "dim=" << dim << " shards=" << shards;
+      EXPECT_TRUE(index.CheckInvariants().ok())
+          << index.CheckInvariants().ToString();
+    }
+  }
+}
+
+TEST(AnnPropertyTest, InsertOrderPermutationsKeepRecallBand) {
+  const int dim = 16;
+  const auto points = ClusteredVectors(1200, dim, 15, 202);
+  const auto queries = ClusteredVectors(50, dim, 15, 202);
+  std::vector<size_t> order(points.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(7);
+  for (int permutation = 0; permutation < 3; ++permutation) {
+    AnnIndex index(SmallOptions(dim, 2));
+    for (const size_t i : order) {
+      index.Insert(static_cast<int64_t>(i), points[i]);
+    }
+    EXPECT_GE(RecallAtK(index, queries, 10), 0.9f)
+        << "permutation " << permutation;
+    EXPECT_TRUE(index.CheckInvariants().ok());
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[rng.NextUint64(i)]);
+    }
+  }
+}
+
+TEST(AnnPropertyTest, GraphInvariantsHoldWhileGrowing) {
+  // Bidirectional links, layer shape, and entry-point reachability must
+  // hold at every growth stage, not just at the end.
+  AnnIndex index(SmallOptions(12, 2));
+  const auto points = ClusteredVectors(600, 12, 8, 303);
+  for (size_t i = 0; i < points.size(); ++i) {
+    index.Insert(static_cast<int64_t>(i), points[i]);
+    if (i % 97 == 0 || i + 1 == points.size()) {
+      const Status status = index.CheckInvariants();
+      ASSERT_TRUE(status.ok()) << "after " << (i + 1)
+                               << " inserts: " << status.ToString();
+    }
+  }
+  EXPECT_EQ(index.size(), 600);
+}
+
+TEST(AnnPropertyTest, DeterministicUnderFixedSeeds) {
+  const int dim = 16;
+  const auto points = ClusteredVectors(800, dim, 10, 404);
+  const auto queries = ClusteredVectors(20, dim, 10, 404);
+  AnnIndex a(SmallOptions(dim, 3));
+  AnnIndex b(SmallOptions(dim, 3));
+  for (size_t i = 0; i < points.size(); ++i) {
+    a.Insert(static_cast<int64_t>(i), points[i]);
+    b.Insert(static_cast<int64_t>(i), points[i]);
+  }
+  for (const auto& q : queries) {
+    const auto ha = a.Search(q, 10);
+    const auto hb = b.Search(q, 10);
+    ASSERT_EQ(ha.size(), hb.size());
+    for (size_t i = 0; i < ha.size(); ++i) {
+      EXPECT_EQ(ha[i].id, hb[i].id);
+      EXPECT_EQ(ha[i].similarity, hb[i].similarity);
+    }
+  }
+  // Determinism extends to the serialized image: bit-identical bytes.
+  const auto bytes_a = a.SerializeToString();
+  const auto bytes_b = b.SerializeToString();
+  ASSERT_TRUE(bytes_a.ok());
+  ASSERT_TRUE(bytes_b.ok());
+  EXPECT_EQ(bytes_a.value(), bytes_b.value());
+}
+
+TEST(AnnPropertyTest, IncrementalInsertMatchesBatchRecallBand) {
+  // Satellite: interleaved Insert() + query must land in the same
+  // recall band as a batch build over the same records — inserts after
+  // queries must not degrade the graph.
+  const int dim = 16;
+  const auto points = ClusteredVectors(1000, dim, 12, 505);
+  const auto queries = ClusteredVectors(40, dim, 12, 505);
+
+  AnnIndex batch(SmallOptions(dim, 2));
+  for (size_t i = 0; i < points.size(); ++i) {
+    batch.Insert(static_cast<int64_t>(i), points[i]);
+  }
+
+  AnnIndex interleaved(SmallOptions(dim, 2));
+  for (size_t i = 0; i < points.size(); ++i) {
+    interleaved.Insert(static_cast<int64_t>(i), points[i]);
+    if (i % 50 == 0) {
+      // Query mid-build; results just have to be well-formed.
+      const auto hits = interleaved.Search(queries[(i / 50) % queries.size()], 5);
+      EXPECT_LE(hits.size(), 5u);
+    }
+  }
+
+  const float batch_recall = RecallAtK(batch, queries, 10);
+  const float interleaved_recall = RecallAtK(interleaved, queries, 10);
+  EXPECT_GE(batch_recall, 0.9f);
+  EXPECT_GE(interleaved_recall, 0.9f);
+  EXPECT_NEAR(batch_recall, interleaved_recall, 0.05f);
+  EXPECT_TRUE(interleaved.CheckInvariants().ok());
+}
+
+TEST(AnnPropertyTest, ConcurrentReadersDuringInsertStream) {
+  // Satellite (TSan target): readers overlap a writer. Every hit a
+  // reader sees must be a valid already-inserted id; no crashes, no
+  // races. The per-shard reader/writer lock is the thing under test.
+  const int dim = 8;
+  AnnIndex index(SmallOptions(dim, 2));
+  const auto points = ClusteredVectors(800, dim, 8, 606);
+  // Seed the index so readers always have something to search.
+  for (size_t i = 0; i < 100; ++i) {
+    index.Insert(static_cast<int64_t>(i), points[i]);
+  }
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_hits{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(700 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto& q = points[rng.NextUint64(points.size())];
+        for (const auto& hit : index.Search(q, 5)) {
+          if (hit.id < 0 || hit.id >= 800) bad_hits.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (size_t i = 100; i < points.size(); ++i) {
+    index.Insert(static_cast<int64_t>(i), points[i]);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(bad_hits.load(), 0);
+  EXPECT_EQ(index.size(), 800);
+  EXPECT_TRUE(index.CheckInvariants().ok());
+}
+
+TEST(AnnPropertyTest, SaveLoadRoundTripPreservesEverything) {
+  const int dim = 16;
+  AnnIndex index(SmallOptions(dim, 3));
+  const auto points = ClusteredVectors(700, dim, 9, 808);
+  for (size_t i = 0; i < points.size(); ++i) {
+    // Spread ids beyond 2^24 to exercise the hi/lo split encoding.
+    index.Insert(static_cast<int64_t>(i) * 3000017, points[i]);
+  }
+  const auto bytes = index.SerializeToString();
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  auto loaded = AnnIndex::Parse(bytes.value());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().size(), index.size());
+  EXPECT_TRUE(loaded.value().CheckInvariants().ok())
+      << loaded.value().CheckInvariants().ToString();
+  const auto queries = ClusteredVectors(25, dim, 9, 808);
+  for (const auto& q : queries) {
+    const auto before = index.Search(q, 8);
+    const auto after = loaded.value().Search(q, 8);
+    ASSERT_EQ(before.size(), after.size());
+    for (size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i].id, after[i].id);
+      EXPECT_EQ(before[i].similarity, after[i].similarity);
+    }
+  }
+  // Save -> load -> insert replays the level-draw stream, so continuing
+  // to grow a loaded index matches growing the original bit-for-bit.
+  AnnIndex& reloaded = loaded.value();
+  const auto extra = ClusteredVectors(50, dim, 9, 809);
+  for (size_t i = 0; i < extra.size(); ++i) {
+    const int64_t id = static_cast<int64_t>(1000000 + i);
+    index.Insert(id, extra[i]);
+    reloaded.Insert(id, extra[i]);
+  }
+  const auto grown_a = index.SerializeToString();
+  const auto grown_b = reloaded.SerializeToString();
+  ASSERT_TRUE(grown_a.ok());
+  ASSERT_TRUE(grown_b.ok());
+  EXPECT_EQ(grown_a.value(), grown_b.value());
+}
+
+TEST(AnnPropertyTest, EdgeCases) {
+  AnnIndex index(SmallOptions(4, 2));
+  // Empty index: no hits, invariants hold.
+  EXPECT_TRUE(index.Search({1.0f, 0.0f, 0.0f, 0.0f}, 5).empty());
+  EXPECT_TRUE(index.CheckInvariants().ok());
+  index.Insert(42, {1.0f, 0.0f, 0.0f, 0.0f});
+  index.Insert(7, {0.0f, 0.0f, 0.0f, 0.0f});  // Zero vector is storable.
+  index.Insert(9, {0.9f, 0.1f, 0.0f, 0.0f});
+  EXPECT_TRUE(index.Search({1.0f, 0.0f, 0.0f, 0.0f}, 0).empty());
+  // Exclude drops exactly the requested id.
+  const auto hits = index.Search({1.0f, 0.0f, 0.0f, 0.0f}, 3, /*exclude=*/42);
+  for (const auto& h : hits) EXPECT_NE(h.id, 42);
+  // n larger than the index returns everything.
+  EXPECT_EQ(index.Search({1.0f, 0.0f, 0.0f, 0.0f}, 100).size(), 3u);
+  // Ties break by ascending id (duplicate vectors under distinct ids).
+  AnnIndex ties(SmallOptions(4, 1));
+  ties.Insert(5, {1.0f, 0.0f, 0.0f, 0.0f});
+  ties.Insert(3, {1.0f, 0.0f, 0.0f, 0.0f});
+  const auto tied = ties.Search({1.0f, 0.0f, 0.0f, 0.0f}, 2);
+  ASSERT_EQ(tied.size(), 2u);
+  EXPECT_EQ(tied[0].id, 3);
+  EXPECT_EQ(tied[1].id, 5);
+}
+
+Entity MakeEntity(const std::string& title) {
+  Entity e;
+  e.Add("title", title);
+  return e;
+}
+
+TEST(EmbedBlockerTest, FindsNearDuplicatesOnSyntheticTables) {
+  SyntheticSpec spec;
+  spec.name = "embed";
+  spec.seed = 91;
+  TwoTableDataset raw = GenerateTwoTable(spec, 120, 360);
+  EmbedBlockOptions options;
+  options.top_n = 10;
+  EmbedBlocker blocker(options);
+  blocker.AddAll(raw.table_b);
+  std::vector<std::pair<int, int>> candidates;
+  for (size_t qi = 0; qi < raw.table_a.size(); ++qi) {
+    for (const auto& hit : blocker.TopN(raw.table_a[qi], options.top_n)) {
+      candidates.emplace_back(static_cast<int>(qi),
+                              static_cast<int>(hit.id));
+    }
+  }
+  EXPECT_GE(BlockingRecall(candidates, raw.matches), 0.95f);
+}
+
+TEST(EmbedBlockerTest, ProgressiveBandsDescendAndCoverEverything) {
+  SyntheticSpec spec;
+  spec.name = "prog";
+  spec.seed = 93;
+  TwoTableDataset raw = GenerateTwoTable(spec, 80, 240);
+  EmbedBlockOptions options;
+  options.top_n = 8;
+  options.bands = 4;
+  EmbedBlocker blocker(options);
+  blocker.AddAll(raw.table_b);
+  ProgressiveCandidates stream(blocker, raw.table_a, options);
+  float previous_floor = 2.0f;
+  float previous_min_sim = 2.0f;
+  int emitted = 0, batches = 0;
+  while (!stream.Done()) {
+    const auto batch = stream.NextBatch();
+    const float floor = stream.band_floors()[static_cast<size_t>(batches)];
+    EXPECT_LT(floor, previous_floor) << "floors must strictly descend";
+    float batch_max = -2.0f;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_GE(batch[i].similarity, floor - 1e-6f);
+      // A later band never out-scores an earlier band's weakest pair.
+      EXPECT_LE(batch[i].similarity, previous_min_sim + 1e-6f);
+      if (i > 0) {
+        EXPECT_LE(batch[i].similarity, batch[i - 1].similarity)
+            << "within a band, pairs are sorted best-first";
+      }
+      batch_max = std::max(batch_max, batch[i].similarity);
+    }
+    if (!batch.empty()) {
+      previous_min_sim = batch.back().similarity;
+    }
+    previous_floor = floor;
+    emitted += static_cast<int>(batch.size());
+    ++batches;
+  }
+  EXPECT_EQ(batches, options.bands);
+  EXPECT_EQ(emitted, stream.total_pairs());
+  EXPECT_EQ(emitted, static_cast<int>(raw.table_a.size()) * options.top_n);
+  EXPECT_TRUE(stream.NextBatch().empty()) << "exhausted stream stays empty";
+}
+
+TEST(EmbedBlockerTest, BuildCollectiveEmbedMirrorsProtocol) {
+  SyntheticSpec spec;
+  spec.name = "colx";
+  spec.seed = 95;
+  TwoTableDataset raw = GenerateTwoTable(spec, 50, 150);
+  EmbedBlockOptions options;
+  options.top_n = 8;
+  CollectiveDataset data = BuildCollectiveEmbed(raw, options);
+  EXPECT_EQ(data.train.size() + data.valid.size() + data.test.size(), 50u);
+  EXPECT_EQ(data.train.size(), 30u);
+  int positives = 0;
+  for (const auto* split : {&data.train, &data.valid, &data.test}) {
+    for (const CollectiveQuery& q : *split) {
+      EXPECT_EQ(q.candidates.size(), 8u);
+      EXPECT_EQ(q.labels.size(), 8u);
+      for (int label : q.labels) positives += label;
+    }
+  }
+  // Embedding top-8 should recover most of the 50 gold matches.
+  EXPECT_GE(positives, 40);
+}
+
+TEST(EmbedBlockerTest, MultiSourceEmbedLabelsFollowClusters) {
+  MultiSourceDataset raw = GenerateMultiSource("monitor", 5, 40, 97);
+  EmbedBlockOptions options;
+  options.top_n = 10;
+  CollectiveDataset data = BuildCollectiveFromMultiSourceEmbed(raw, options);
+  int positives = 0, total = 0;
+  for (const auto* split : {&data.train, &data.valid, &data.test}) {
+    for (const CollectiveQuery& q : *split) {
+      EXPECT_LE(q.candidates.size(), 10u);
+      for (int label : q.labels) {
+        positives += label;
+        ++total;
+      }
+    }
+  }
+  EXPECT_GT(positives, 0);
+  EXPECT_LT(positives, total);
+}
+
+TEST(EmbedBlockerTest, EmbedderIsDeterministicAndNormalized) {
+  HashedNgramEmbedder embedder(32);
+  const Entity e = MakeEntity("acme widget mk100 deluxe");
+  const auto a = embedder(e);
+  const auto b = embedder(e);  // Second call hits the word cache.
+  ASSERT_EQ(a.size(), 32u);
+  EXPECT_EQ(a, b);
+  float norm = 0.0f;
+  for (const float v : a) norm += v * v;
+  EXPECT_NEAR(norm, 1.0f, 1e-4f);
+  // No tokens -> zero vector, not NaN.
+  const auto zero = embedder(Entity());
+  for (const float v : zero) EXPECT_EQ(v, 0.0f);
+}
+
+}  // namespace
+}  // namespace hiergat

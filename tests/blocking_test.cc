@@ -1,5 +1,6 @@
 #include "blocking/blocker.h"
 
+#include <cmath>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -34,6 +35,37 @@ TEST(KeywordBlockTest, RecallMetric) {
   const std::vector<std::pair<int, int>> gold = {{0, 0}, {2, 2}};
   EXPECT_FLOAT_EQ(BlockingRecall(candidates, gold), 0.5f);
   EXPECT_FLOAT_EQ(BlockingRecall(candidates, {}), 1.0f);
+}
+
+TEST(KeywordBlockTest, EmptyGoldRecallIsOneNotNaN) {
+  // Regression: BlockingRecall used to divide by gold.size(); with no
+  // gold pairs that was 0/0 = NaN, which silently passed >= thresholds.
+  // An empty gold set means there is nothing to miss, so recall is 1.
+  const float empty_both = BlockingRecall({}, {});
+  EXPECT_FALSE(std::isnan(empty_both));
+  EXPECT_FLOAT_EQ(empty_both, 1.0f);
+  const float empty_gold = BlockingRecall({{3, 4}, {5, 6}}, {});
+  EXPECT_FALSE(std::isnan(empty_gold));
+  EXPECT_FLOAT_EQ(empty_gold, 1.0f);
+}
+
+TEST(TfIdfBlockerTest, TopNTiesBreakByIndexDeterministically) {
+  // Four identical records: every similarity ties, so only the
+  // index-ascending tie-break keeps TopN deterministic (partial_sort
+  // alone is free to order equal keys any way it likes).
+  std::vector<Entity> corpus = {Make("acme widget deluxe"),
+                                Make("acme widget deluxe"),
+                                Make("acme widget deluxe"),
+                                Make("acme widget deluxe")};
+  TfIdfBlocker blocker(corpus);
+  const std::vector<int> first = blocker.TopN(Make("acme widget deluxe"), 3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0], 0);
+  EXPECT_EQ(first[1], 1);
+  EXPECT_EQ(first[2], 2);
+  for (int run = 0; run < 10; ++run) {
+    EXPECT_EQ(blocker.TopN(Make("acme widget deluxe"), 3), first);
+  }
 }
 
 TEST(KeywordBlockTest, PrunesMostPairsOnSyntheticData) {

@@ -308,8 +308,10 @@ TEST_P(BackendParity, QuantizedKernelsBitIdentical) {
   kernels::GemmF32Q8(m, n, k, a.data(), wq.blocks().data(), want.data());
   std::vector<float> want_dq(static_cast<size_t>(k) * n);
   kernels::DequantizeRowsQ8(k, n, wq.blocks().data(), want_dq.data());
-  const float want_dot =
-      kernels::DotQ8(n, a.data(), wq.blocks().data());  // Row 0 of Wq.
+  // dot_q8 contracts n elements against row 0 of Wq, so the query needs
+  // its own length-n buffer (`a` only holds m*k floats).
+  const auto x = RandomVec(static_cast<size_t>(n), 109);
+  const float want_dot = kernels::DotQ8(n, x.data(), wq.blocks().data());
 
   for (const backend::Kernels* kr : backend::Registered()) {
     std::vector<float> got(out_size, 0.0f);
@@ -322,7 +324,7 @@ TEST_P(BackendParity, QuantizedKernelsBitIdentical) {
     for (size_t i = 0; i < dq.size(); ++i)
       ASSERT_EQ(dq[i], want_dq[i]) << kr->name << " dequantize element " << i;
 
-    ASSERT_EQ(kr->dot_q8(n, a.data(), wq.blocks().data()), want_dot)
+    ASSERT_EQ(kr->dot_q8(n, x.data(), wq.blocks().data()), want_dot)
         << kr->name << " dot_q8";
   }
 }

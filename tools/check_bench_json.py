@@ -129,6 +129,50 @@ def check_file(path):
         if "batching_speedup" not in metrics:
             return fail(path, 'serve_qps must emit "batching_speedup"')
 
+    # Blocking benches (bench_blocking) carry per-size rows: recall must
+    # be a probability, candidate counts non-negative integers, and the
+    # progressive band floors must descend monotonically (the whole point
+    # of progressive emission — earlier bands are higher-confidence).
+    if doc["benchmark"] == "blocking":
+        metrics = doc["metrics"]
+        sizes = sorted(
+            key[len("recall."):] for key in metrics if key.startswith("recall.")
+        )
+        if not sizes:
+            return fail(path, 'blocking must emit at least one "recall.<size>" metric')
+        for size in sizes:
+            recall = metrics[f"recall.{size}"]
+            if not 0.0 <= recall <= 1.0:
+                return fail(path, f'"recall.{size}" must be in [0, 1], got {recall}')
+            for field in ("candidates", "build_seconds", "query_seconds", "qps"):
+                key = f"{field}.{size}"
+                if key not in metrics:
+                    return fail(path, f'blocking row "{size}" missing "{key}"')
+                if metrics[key] < 0:
+                    return fail(path, f'"{key}" must be >= 0')
+            candidates = metrics[f"candidates.{size}"]
+            if candidates != int(candidates):
+                return fail(path, f'"candidates.{size}" must be an integer count')
+            floors = []
+            band = 0
+            while f"band_floor.{size}.{band}" in metrics:
+                floors.append(metrics[f"band_floor.{size}.{band}"])
+                pairs = metrics.get(f"band_pairs.{size}.{band}")
+                if pairs is None or pairs < 0 or pairs != int(pairs):
+                    return fail(
+                        path, f'"band_pairs.{size}.{band}" must be a '
+                        "non-negative integer count"
+                    )
+                band += 1
+            if not floors:
+                return fail(path, f'blocking row "{size}" has no band floors')
+            if any(b >= a for a, b in zip(floors, floors[1:])):
+                return fail(
+                    path,
+                    f'blocking row "{size}": band floors must strictly '
+                    f"descend, got {floors}",
+                )
+
     # Optional per-op cost accounting (DESIGN.md §12): emitted by benches
     # that replay compiled graphs; absent from older files and benches
     # that never compile graphs.
